@@ -1,0 +1,100 @@
+//! Performance benches for the computational kernels: FFT, sliding
+//! DFT, buck conversion, EM synthesis and the machine simulator.
+//!
+//! These are real Criterion microbenchmarks (unlike the table/figure
+//! regenerators, which mostly print): use them to track the cost of
+//! the hot loops. Run with `cargo bench -p emsc-bench --bench kernels`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use emsc_emfield::scene::Scene;
+use emsc_emfield::synth::{render_train, samples_for, SynthConfig};
+use emsc_pmu::sim::Machine;
+use emsc_pmu::workload::Program;
+use emsc_sdr::fft::FftPlan;
+use emsc_sdr::iq::Complex;
+use emsc_sdr::sliding::energy_signal;
+use emsc_vrm::buck::{Buck, BuckConfig};
+
+fn bench_fft(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft");
+    for &n in &[256usize, 1024, 4096] {
+        let plan = FftPlan::new(n);
+        let x: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f64 * 0.1).sin(), (i as f64 * 0.2).cos()))
+            .collect();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut buf = x.clone();
+                plan.forward(&mut buf);
+                buf[0]
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_sliding_dft(c: &mut Criterion) {
+    let n = 240_000; // 100 ms at 2.4 Msps
+    let x: Vec<Complex> = (0..n)
+        .map(|i| Complex::cis(2.0 * std::f64::consts::PI * 0.2 * i as f64))
+        .collect();
+    let mut group = c.benchmark_group("sliding_dft");
+    group.throughput(Throughput::Elements(n as u64));
+    group.sample_size(20);
+    group.bench_function("energy_signal_100ms_2bins", |b| {
+        b.iter(|| energy_signal(&x, 256, &[52, 104], 24).len())
+    });
+    group.finish();
+}
+
+fn bench_machine_sim(c: &mut Criterion) {
+    let machine = Machine::intel_laptop();
+    let program = Program::alternating(100e-6, 100e-6, 500, machine.steady_state_ips());
+    let mut group = c.benchmark_group("machine_sim");
+    group.bench_function("alternating_500_cycles", |b| {
+        b.iter(|| machine.run(&program, 3).segments().len())
+    });
+    group.finish();
+}
+
+fn bench_buck(c: &mut Criterion) {
+    let machine = Machine::intel_laptop();
+    let program = Program::alternating(100e-6, 100e-6, 500, machine.steady_state_ips());
+    let trace = machine.run(&program, 3);
+    let buck = Buck::new(BuckConfig::laptop(970e3));
+    let mut group = c.benchmark_group("buck_converter");
+    group.throughput(Throughput::Elements((trace.duration_s() * 970e3) as u64));
+    group.bench_function("convert_100ms_trace", |b| {
+        b.iter(|| buck.convert(&trace).pulses.len())
+    });
+    group.finish();
+}
+
+fn bench_em_synthesis(c: &mut Criterion) {
+    let machine = Machine::intel_laptop();
+    let program = Program::alternating(100e-6, 100e-6, 200, machine.steady_state_ips());
+    let trace = machine.run(&program, 3);
+    let train = Buck::new(BuckConfig::laptop(970e3)).convert(&trace);
+    let cfg = SynthConfig::rtl_sdr_for(970e3);
+    let n = samples_for(&train, cfg);
+    let mut group = c.benchmark_group("em_synthesis");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function("render_train", |b| b.iter(|| render_train(&train, cfg, n).len()));
+    group.bench_function("scene_render_with_noise", |b| {
+        let scene = Scene::near_field(970e3);
+        b.iter(|| scene.render(&train, 1).len())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    kernels,
+    bench_fft,
+    bench_sliding_dft,
+    bench_machine_sim,
+    bench_buck,
+    bench_em_synthesis
+);
+criterion_main!(kernels);

@@ -1,0 +1,79 @@
+//! Regenerates the paper's figures (2, 4–9, 11) at bench scale and
+//! times their underlying computations.
+//!
+//! Run with `cargo bench -p emsc-bench --bench paper_figures`.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use emsc_core::experiments::covert_figs;
+use emsc_core::experiments::keylog_table::{render_table4, table4, KeylogScale};
+use emsc_core::experiments::spectral::{fig2, fig2_bios, fig11, render_bios, Scale};
+use emsc_core::experiments::tables::{fig9, render_fig9};
+
+fn bench_fig2(c: &mut Criterion) {
+    let f = fig2(Scale::Quick, 2020);
+    println!("\n{}", f.render());
+    let mut group = c.benchmark_group("fig2_spectrogram");
+    group.sample_size(10).measurement_time(Duration::from_secs(8));
+    group.bench_function("alternation_capture_and_stft", |b| {
+        b.iter(|| fig2(Scale::Quick, 2020).spike_contrast)
+    });
+    group.finish();
+}
+
+fn bench_bios(c: &mut Criterion) {
+    println!("\n{}", render_bios(&fig2_bios(Scale::Quick, 2020)));
+    c.bench_function("fig2_bios_noop", |b| b.iter(|| 0));
+}
+
+fn bench_fig4_to_8(c: &mut Criterion) {
+    println!("\n{}", covert_figs::fig4(2020).render());
+    let f5 = covert_figs::fig5(2020);
+    println!(
+        "Fig. 5 — {:.0} % of bit starts found in the first pass\n",
+        f5.raw_edge_coverage * 100.0
+    );
+    println!("{}", covert_figs::fig6(2020).render());
+    println!("{}", covert_figs::fig7(2020).render());
+    println!("{}", covert_figs::fig8(2020).render());
+
+    let mut group = c.benchmark_group("fig4_energy_signal");
+    group.sample_size(10).measurement_time(Duration::from_secs(8));
+    group.bench_function("fig4_pipeline", |b| b.iter(|| covert_figs::fig4(2020).tx_bits.len()));
+    group.finish();
+
+    let mut group = c.benchmark_group("fig6_pulse_width");
+    group.sample_size(10).measurement_time(Duration::from_secs(12));
+    group.bench_function("fig6_distribution", |b| {
+        b.iter(|| covert_figs::fig6(2020).distances_s.len())
+    });
+    group.finish();
+}
+
+fn bench_fig9(c: &mut Criterion) {
+    let (baselines, measured) = fig9(3700.0);
+    println!("\n{}", render_fig9(&baselines, measured));
+    c.bench_function("fig9_comparison", |b| b.iter(emsc_baselines::all_baselines));
+}
+
+fn bench_fig11_table4(c: &mut Criterion) {
+    println!("\n{}", fig11(2020).render());
+    println!("{}", render_table4(&table4(KeylogScale::quick(), 2020)));
+    let mut group = c.benchmark_group("table4_keylogging");
+    group.sample_size(10).measurement_time(Duration::from_secs(20));
+    group.bench_function("keylog_run_quick", |b| {
+        b.iter(|| table4(KeylogScale { words: 2 }, 2020).len())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    figures,
+    bench_fig2,
+    bench_bios,
+    bench_fig4_to_8,
+    bench_fig9,
+    bench_fig11_table4
+);
+criterion_main!(figures);

@@ -1,0 +1,77 @@
+//! Regenerates the paper's tables (I, II, III, the §IV-C2 stress run
+//! and the Fig. 10 NLoS row), then times one representative transfer
+//! per table so regressions in the pipeline show up as slowdowns.
+//!
+//! Run with `cargo bench -p emsc-bench --bench paper_tables`.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use emsc_bench::bench_payload;
+use emsc_core::chain::{Chain, Setup};
+use emsc_core::covert_run::CovertScenario;
+use emsc_core::experiments::tables::{
+    fig10_nlos, render_channel_rows, table1, table2, table2_background, table3, TableScale,
+};
+use emsc_core::laptop::Laptop;
+
+fn scale() -> TableScale {
+    TableScale { payload_bytes: 24, runs: 1 }
+}
+
+fn bench_table1(c: &mut Criterion) {
+    println!("\n{}", table1());
+    c.bench_function("table1_laptop_inventory", |b| b.iter(Laptop::all));
+}
+
+fn bench_table2(c: &mut Criterion) {
+    let rows = table2(scale(), 2020);
+    println!("\n{}", render_channel_rows("Table II (bench scale) — near-field covert channel", &rows));
+
+    let laptop = Laptop::dell_inspiron();
+    let chain = Chain::new(&laptop, Setup::NearField);
+    let scenario = CovertScenario::for_laptop(&laptop, chain);
+    let payload = bench_payload(8, 7);
+    let mut group = c.benchmark_group("table2_near_field");
+    group.sample_size(10).measurement_time(Duration::from_secs(8));
+    group.bench_function("covert_transfer_8_bytes", |b| {
+        b.iter(|| scenario.run(&payload, 7))
+    });
+    group.finish();
+}
+
+fn bench_table2_background(c: &mut Criterion) {
+    let rows = table2_background(scale(), 2020);
+    println!("\n{}", render_channel_rows("§IV-C2 (bench scale) — background stress", &rows));
+    c.bench_function("table2_background_noop", |b| b.iter(|| rows.len()));
+}
+
+fn bench_table3(c: &mut Criterion) {
+    let rows = table3(scale(), 2020);
+    println!("\n{}", render_channel_rows("Table III (bench scale) — distance sweep", &rows));
+
+    let laptop = Laptop::dell_inspiron();
+    let chain = Chain::new(&laptop, Setup::LineOfSight(2.5));
+    let scenario = CovertScenario::for_laptop(&laptop, chain);
+    let payload = bench_payload(8, 9);
+    let mut group = c.benchmark_group("table3_distance");
+    group.sample_size(10).measurement_time(Duration::from_secs(8));
+    group.bench_function("covert_transfer_2_5m", |b| b.iter(|| scenario.run(&payload, 9)));
+    group.finish();
+}
+
+fn bench_fig10(c: &mut Criterion) {
+    let row = fig10_nlos(scale(), 2020);
+    println!("\n{}", render_channel_rows("Fig. 10 (bench scale) — NLoS through wall", &[row]));
+    c.bench_function("fig10_noop", |b| b.iter(|| 0));
+}
+
+criterion_group!(
+    tables,
+    bench_table1,
+    bench_table2,
+    bench_table2_background,
+    bench_table3,
+    bench_fig10
+);
+criterion_main!(tables);

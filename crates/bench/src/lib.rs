@@ -1,0 +1,35 @@
+//! Benchmark harness for the paper reproduction.
+//!
+//! The Criterion benches under `benches/` regenerate every table and
+//! figure of the paper at a reduced scale (each bench prints its
+//! artefact once before timing a representative kernel); the
+//! `reproduce` example in `emsc-examples` runs everything at full
+//! scale. This library crate only hosts shared helpers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Deterministic pseudo-random payload used across benches.
+pub fn bench_payload(len: usize, seed: u64) -> Vec<u8> {
+    let mut state = seed | 1;
+    (0..len)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state & 0xFF) as u8
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payload_is_deterministic() {
+        assert_eq!(bench_payload(16, 1), bench_payload(16, 1));
+        assert_ne!(bench_payload(16, 1), bench_payload(16, 2));
+        assert_eq!(bench_payload(5, 9).len(), 5);
+    }
+}

@@ -1,0 +1,406 @@
+//! The evaluation tables: Table I, Table II (+ background stress),
+//! Table III, Fig. 9 and the Fig. 10 NLoS result.
+
+use emsc_baselines::{all_baselines, Baseline};
+use emsc_covert::metrics::align_semiglobal;
+use emsc_covert::rx::Receiver;
+use emsc_covert::tx::{Transmitter, TxConfig};
+use emsc_pmu::multicore::MultiCoreMachine;
+use emsc_pmu::noise::NoiseConfig;
+use emsc_pmu::workload::Program;
+
+use crate::chain::{Chain, Setup};
+use crate::covert_run::CovertScenario;
+use crate::laptop::Laptop;
+
+/// Scale of a table experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TableScale {
+    /// Payload bytes per run.
+    pub payload_bytes: usize,
+    /// Averaging runs (the paper uses 5).
+    pub runs: usize,
+}
+
+impl TableScale {
+    /// Fast scale for unit tests.
+    pub fn quick() -> Self {
+        TableScale { payload_bytes: 16, runs: 1 }
+    }
+
+    /// The paper's scale: 5 runs of a longer random stream.
+    pub fn paper() -> Self {
+        TableScale { payload_bytes: 96, runs: 5 }
+    }
+}
+
+fn pseudo_payload(len: usize, seed: u64) -> Vec<u8> {
+    let mut state = seed ^ 0x243F_6A88_85A3_08D3;
+    (0..len)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state & 0xFF) as u8
+        })
+        .collect()
+}
+
+/// Renders Table I (the laptop inventory).
+pub fn table1() -> String {
+    super::render_table(
+        "Table I — evaluation laptops",
+        &["Model", "OS", "Architecture", "f_sw (kHz)"],
+        &Laptop::all()
+            .iter()
+            .map(|l| {
+                vec![
+                    l.model.to_string(),
+                    l.os.name().to_string(),
+                    l.microarch.name().to_string(),
+                    format!("{:.0}", l.switching_freq_hz / 1e3),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    )
+}
+
+/// One Table II / Table III row: averaged channel quality.
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ChannelRow {
+    /// Row label (laptop model or distance).
+    pub label: String,
+    /// Mean bit-error rate.
+    pub ber: f64,
+    /// Mean transmission rate, bits/second.
+    pub tr_bps: f64,
+    /// Mean insertion probability.
+    pub ip: f64,
+    /// Mean deletion probability.
+    pub dp: f64,
+    /// Fraction of runs whose payload was exactly recovered after
+    /// parity correction.
+    pub recovery_rate: f64,
+}
+
+/// Averages `runs` covert transfers over a prepared scenario.
+pub fn measure_channel(
+    scenario: &CovertScenario,
+    label: &str,
+    scale: TableScale,
+    seed: u64,
+) -> ChannelRow {
+    let mut ber = 0.0;
+    let mut tr = 0.0;
+    let mut ip = 0.0;
+    let mut dp = 0.0;
+    let mut recovered = 0usize;
+    for run in 0..scale.runs {
+        let payload = pseudo_payload(scale.payload_bytes, seed + run as u64);
+        let outcome = scenario.run(&payload, seed + 1000 * run as u64);
+        ber += outcome.alignment.ber();
+        tr += outcome.transmission_rate_bps;
+        ip += outcome.alignment.insertion_probability();
+        dp += outcome.alignment.deletion_probability();
+        if outcome.recovered(&payload) {
+            recovered += 1;
+        }
+    }
+    let n = scale.runs.max(1) as f64;
+    ChannelRow {
+        label: label.to_string(),
+        ber: ber / n,
+        tr_bps: tr / n,
+        ip: ip / n,
+        dp: dp / n,
+        recovery_rate: recovered as f64 / n,
+    }
+}
+
+/// Table II: near-field channel quality for all six laptops.
+pub fn table2(scale: TableScale, seed: u64) -> Vec<ChannelRow> {
+    Laptop::all()
+        .iter()
+        .map(|laptop| {
+            let chain = Chain::new(laptop, Setup::NearField);
+            let scenario = CovertScenario::for_laptop(laptop, chain);
+            measure_channel(&scenario, laptop.model, scale, seed)
+        })
+        .collect()
+}
+
+/// Renders channel rows in the Table II/III format.
+pub fn render_channel_rows(title: &str, rows: &[ChannelRow]) -> String {
+    super::render_table(
+        title,
+        &["", "BER", "TR (bps)", "IP", "DP"],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.label.clone(),
+                    super::fmt_prob(r.ber),
+                    format!("{:.0}", r.tr_bps),
+                    super::fmt_prob(r.ip),
+                    super::fmt_prob(r.dp),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    )
+}
+
+/// §IV-C2: the background-activity stress experiment. Returns the
+/// baseline row, the stressed row at the same rate, and the stressed
+/// row after backing the rate off (longer sleep period).
+pub fn table2_background(scale: TableScale, seed: u64) -> Vec<ChannelRow> {
+    let laptop = Laptop::dell_inspiron();
+    let mut rows = Vec::new();
+
+    let baseline_chain = Chain::new(&laptop, Setup::NearField);
+    let baseline = CovertScenario::for_laptop(&laptop, baseline_chain);
+    rows.push(measure_channel(&baseline, "quiet system", scale, seed));
+
+    let busy_chain = {
+        let mut c = Chain::new(&laptop, Setup::NearField);
+        c.machine.noise = NoiseConfig::with_heavy_background();
+        c
+    };
+    let stressed = CovertScenario::for_laptop(&laptop, busy_chain.clone());
+    rows.push(measure_channel(&stressed, "heavy background, same rate", scale, seed));
+
+    // Back the rate off ~15 % (the paper's average reduction) by
+    // stretching both phases.
+    let slow_tx = TxConfig::calibrated_with_overhead(
+        &busy_chain.machine,
+        laptop.tx_active_period_s() * 1.18,
+        laptop.tx_sleep_period_s() * 1.18,
+        laptop.tx_overhead_s(),
+    );
+    let expected = slow_tx.expected_bit_period_on(&busy_chain.machine);
+    let rx = emsc_covert::rx::RxConfig::new(busy_chain.switching_freq_hz(), expected);
+    let backed_off = CovertScenario { chain: busy_chain, tx: slow_tx, rx };
+    rows.push(measure_channel(&backed_off, "heavy background, rate backed off", scale, seed));
+
+    // The realistic variant: the hog runs *concurrently on another
+    // core* of the shared voltage rail (the paper's laptops are
+    // multi-core), not time-sliced into the transmitter's sleeps.
+    rows.push(multicore_background_row(
+        &laptop,
+        1.0,
+        "hog on another core, same rate",
+        scale,
+        seed,
+    ));
+    rows.push(multicore_background_row(
+        &laptop,
+        1.18,
+        "hog on another core, rate backed off",
+        scale,
+        seed,
+    ));
+    rows
+}
+
+/// One §IV-C2 row with the CPU hog on a second core.
+fn multicore_background_row(
+    laptop: &Laptop,
+    stretch: f64,
+    label: &str,
+    scale: TableScale,
+    seed: u64,
+) -> ChannelRow {
+    let chain = Chain::new(laptop, Setup::NearField);
+    let tx = TxConfig::calibrated_with_overhead(
+        &chain.machine,
+        laptop.tx_active_period_s() * stretch,
+        laptop.tx_sleep_period_s() * stretch,
+        laptop.tx_overhead_s(),
+    );
+    let expected = tx.expected_bit_period_on(&chain.machine);
+    let rx_cfg = emsc_covert::rx::RxConfig {
+        // A concurrent hog shifts the whole power level up and down;
+        // the RZ differential cancels that pedestal.
+        label_feature: emsc_covert::rx::LabelFeature::RzDifferential,
+        ..emsc_covert::rx::RxConfig::new(chain.switching_freq_hz(), expected)
+    };
+    let package = MultiCoreMachine::new(chain.machine.clone(), 2);
+
+    let mut ber = 0.0;
+    let mut tr = 0.0;
+    let mut ip = 0.0;
+    let mut dp = 0.0;
+    let mut recovered = 0usize;
+    for run in 0..scale.runs {
+        let payload = pseudo_payload(scale.payload_bytes, seed + run as u64);
+        let transmitter = Transmitter::new(tx);
+        let tx_bits = transmitter.on_air_bits(&payload);
+        let mut program = Program::new();
+        program.sleep(2e-3);
+        program.busy(chain.machine.iterations_for_duration(20e-3));
+        program.extend(transmitter.program_for_bits(&tx_bits).ops().iter().copied());
+        program.sleep(2e-3);
+        let duration = program.nominal_duration_s(chain.machine.steady_state_ips()) * 1.4;
+        // A resource-intensive hog: ~97 % duty (10 ms of work, a
+        // 0.3 ms scheduler breather).
+        let hog = Program::alternating(10e-3, 0.3e-3, (duration / 10.3e-3).ceil() as usize, chain.machine.steady_state_ips());
+        let trace = package.run(&[program, hog], seed + 1000 * run as u64);
+        let chain_run = chain.run_trace(trace, seed + 1000 * run as u64);
+        let report = Receiver::new(rx_cfg.clone()).demodulate(&chain_run.capture);
+        let alignment = align_semiglobal(&tx_bits, &report.bits);
+        let air = chain_run.trace.duration_s();
+        ber += alignment.ber();
+        ip += alignment.insertion_probability();
+        dp += alignment.deletion_probability();
+        tr += tx_bits.len() as f64 / (air - 24e-3).max(1e-6);
+        if emsc_covert::frame::deframe(&report.bits, tx.frame, 1)
+            .is_some_and(|d| d.payload == payload)
+        {
+            recovered += 1;
+        }
+    }
+    let n = scale.runs.max(1) as f64;
+    ChannelRow {
+        label: label.to_string(),
+        ber: ber / n,
+        tr_bps: tr / n,
+        ip: ip / n,
+        dp: dp / n,
+        recovery_rate: recovered as f64 / n,
+    }
+}
+
+/// Table III: distance sweep on the Dell Inspiron with the loop
+/// antenna. The paper lowers TR as distance grows to hold BER; the
+/// rate factor stretches both transmitter phases.
+pub fn table3(scale: TableScale, seed: u64) -> Vec<ChannelRow> {
+    let laptop = Laptop::dell_inspiron();
+    // (distance m, phase stretch, label) — two operating points at 1 m
+    // like the paper's Table III.
+    let settings: [(f64, f64, &str); 4] = [
+        (1.0, 2.0, "1 m (fast)"),
+        (1.0, 2.4, "1 m (reliable)"),
+        (1.5, 2.8, "1.5 m"),
+        (2.5, 3.75, "2.5 m"),
+    ];
+    settings
+        .iter()
+        .map(|&(d, stretch, label)| {
+            let chain = Chain::new(&laptop, Setup::LineOfSight(d));
+            let tx = TxConfig::calibrated_with_overhead(
+                &chain.machine,
+                laptop.tx_active_period_s() * stretch,
+                laptop.tx_sleep_period_s() * stretch,
+                laptop.tx_overhead_s(),
+            );
+            let expected = tx.expected_bit_period_on(&chain.machine);
+            let rx = emsc_covert::rx::RxConfig::new(chain.switching_freq_hz(), expected);
+            let scenario = CovertScenario { chain, tx, rx };
+            measure_channel(&scenario, label, scale, seed)
+        })
+        .collect()
+}
+
+/// Fig. 10 / §IV-C3: the through-the-wall NLoS measurement, with the
+/// printer and refrigerator interferers in place and the rate backed
+/// off until reliable (the paper lands at 821 bps).
+pub fn fig10_nlos(scale: TableScale, seed: u64) -> ChannelRow {
+    let laptop = Laptop::dell_inspiron();
+    let chain = Chain::new(&laptop, Setup::ThroughWall);
+    let stretch = 5.2;
+    let tx = TxConfig::calibrated(
+        &chain.machine,
+        laptop.tx_active_period_s() * stretch,
+        laptop.tx_sleep_period_s() * stretch,
+    );
+    let expected = tx.expected_bit_period_on(&chain.machine);
+    let rx = emsc_covert::rx::RxConfig::new(chain.switching_freq_hz(), expected);
+    let scenario = CovertScenario { chain, tx, rx };
+    measure_channel(&scenario, "1.5 m through 35 cm wall", scale, seed)
+}
+
+/// Fig. 9: transmission-rate comparison against prior physical covert
+/// channels. `measured_bps` is this reproduction's best near-field
+/// rate (pass the Table II maximum).
+pub fn fig9(measured_bps: f64) -> (Vec<Baseline>, f64) {
+    (all_baselines(), measured_bps)
+}
+
+/// Renders Fig. 9 as a log-scale ASCII bar chart.
+pub fn render_fig9(baselines: &[Baseline], measured_bps: f64) -> String {
+    let mut s = String::from("Fig. 9 — transmission rate vs. prior physical covert channels (log scale)\n");
+    let max_log = measured_bps.log10();
+    let bar = |rate: f64| {
+        let len = ((rate.log10() / max_log) * 56.0).max(1.0) as usize;
+        "#".repeat(len)
+    };
+    for b in baselines {
+        s.push_str(&format!("{:>10} | {} {:.0} bps\n", b.name, bar(b.max_rate_bps), b.max_rate_bps));
+    }
+    s.push_str(&format!("{:>10} | {} {:.0} bps\n", "this work", bar(measured_bps), measured_bps));
+    let fastest = baselines.last().map(|b| b.max_rate_bps).unwrap_or(1.0);
+    s.push_str(&format!("speedup over fastest prior attack: {:.1}x\n", measured_bps / fastest));
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_lists_all_laptops() {
+        let t = table1();
+        for l in Laptop::all() {
+            assert!(t.contains(l.model), "missing {}", l.model);
+        }
+    }
+
+    #[test]
+    fn table2_shape_matches_paper() {
+        let rows = table2(TableScale::quick(), 42);
+        assert_eq!(rows.len(), 6);
+        let by_label = |m: &str| rows.iter().find(|r| r.label.contains(m)).unwrap().clone();
+        // UNIX laptops ≫ Windows laptops in TR (Table II's headline).
+        let unix_min = ["Inspiron", "MacBookPro", "Thinkpad"]
+            .iter()
+            .map(|m| by_label(m).tr_bps)
+            .fold(f64::INFINITY, f64::min);
+        let win_max = ["Precision", "Sony"]
+            .iter()
+            .map(|m| by_label(m).tr_bps)
+            .fold(0.0f64, f64::max);
+        assert!(unix_min > 2.0 * win_max, "unix {unix_min} vs windows {win_max}");
+        // All BERs in the paper's band (≤ ~3 %, give slack for quick scale).
+        for r in &rows {
+            assert!(r.ber < 0.06, "{}: BER {}", r.label, r.ber);
+        }
+    }
+
+    #[test]
+    fn table3_rate_decreases_with_distance() {
+        let rows = table3(TableScale::quick(), 7);
+        assert_eq!(rows.len(), 4);
+        assert!(rows[0].tr_bps > rows[2].tr_bps);
+        assert!(rows[2].tr_bps > rows[3].tr_bps);
+        for r in &rows {
+            assert!(r.ber < 0.08, "{}: BER {}", r.label, r.ber);
+        }
+    }
+
+    #[test]
+    fn fig10_is_slower_than_any_los_setting() {
+        let wall = fig10_nlos(TableScale::quick(), 7);
+        let rows = table3(TableScale::quick(), 7);
+        assert!(wall.tr_bps < rows[3].tr_bps, "wall {} vs 2.5 m {}", wall.tr_bps, rows[3].tr_bps);
+        assert!(wall.ber < 0.08, "wall BER {}", wall.ber);
+    }
+
+    #[test]
+    fn fig9_renders_with_speedup() {
+        let (baselines, measured) = fig9(3500.0);
+        let s = render_fig9(&baselines, measured);
+        assert!(s.contains("this work"));
+        assert!(s.contains("GSMem"));
+        assert!(s.contains("speedup"));
+    }
+}

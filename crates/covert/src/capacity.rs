@@ -1,0 +1,104 @@
+//! Information-theoretic analysis of the covert channel.
+//!
+//! The paper reports raw transmission rates; for a fair comparison
+//! between operating points (near field vs. wall, quiet vs. stressed)
+//! one also wants the *effective* rate after errors. These helpers
+//! compute standard capacity bounds from the measured BER/IP/DP.
+
+/// Binary entropy `H₂(p)` in bits (0 at p ∈ {0, 1}).
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 1]`.
+pub fn binary_entropy(p: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "probability out of range");
+    if p == 0.0 || p == 1.0 {
+        return 0.0;
+    }
+    -p * p.log2() - (1.0 - p) * (1.0 - p).log2()
+}
+
+/// Capacity of a binary symmetric channel with crossover `ber`, in
+/// bits per channel use: `1 − H₂(ber)`.
+///
+/// # Panics
+///
+/// Panics if `ber` is outside `[0, 1]`.
+pub fn bsc_capacity(ber: f64) -> f64 {
+    1.0 - binary_entropy(ber)
+}
+
+/// A coarse *lower bound* on the effective information rate of the
+/// measured channel, bits/second: the BSC capacity at the measured
+/// BER, discounted by the insertion/deletion rate (each indel is
+/// charged as a fully lost symbol plus one symbol of
+/// synchronisation overhead).
+pub fn effective_rate_bps(tr_bps: f64, ber: f64, ip: f64, dp: f64) -> f64 {
+    let indel = (ip + dp).min(1.0);
+    (tr_bps * bsc_capacity(ber.min(0.5)) * (1.0 - 2.0 * indel)).max(0.0)
+}
+
+/// Shannon capacity of an AWGN channel, bits/second:
+/// `B · log₂(1 + SNR)` with the SNR given in decibels — an upper
+/// bound on what any modulation over the VRM line could achieve in
+/// the receiver's analysis bandwidth.
+pub fn shannon_capacity_bps(bandwidth_hz: f64, snr_db: f64) -> f64 {
+    bandwidth_hz * (1.0 + 10f64.powf(snr_db / 10.0)).log2()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entropy_known_values() {
+        assert_eq!(binary_entropy(0.0), 0.0);
+        assert_eq!(binary_entropy(1.0), 0.0);
+        assert!((binary_entropy(0.5) - 1.0).abs() < 1e-12);
+        assert!((binary_entropy(0.11) - 0.4999).abs() < 1e-3);
+        // Symmetry.
+        assert!((binary_entropy(0.2) - binary_entropy(0.8)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bsc_capacity_bounds() {
+        assert_eq!(bsc_capacity(0.0), 1.0);
+        assert!(bsc_capacity(0.5).abs() < 1e-12);
+        let c = bsc_capacity(0.01);
+        assert!(c > 0.9 && c < 1.0);
+    }
+
+    #[test]
+    fn effective_rate_orders_the_papers_operating_points() {
+        // Table II Inspiron vs. Fig. 10 wall: the near-field point must
+        // carry more information even after discounting errors.
+        let near = effective_rate_bps(3162.0, 8e-3, 4.5e-3, 6.3e-3);
+        let wall = effective_rate_bps(821.0, 6e-3, 0.0, 0.0);
+        assert!(near > 2.0 * wall, "near {near} vs wall {wall}");
+        assert!(near < 3162.0, "capacity can't exceed the raw rate");
+    }
+
+    #[test]
+    fn effective_rate_degrades_gracefully() {
+        let clean = effective_rate_bps(1000.0, 0.0, 0.0, 0.0);
+        assert_eq!(clean, 1000.0);
+        let coin_flip = effective_rate_bps(1000.0, 0.5, 0.0, 0.0);
+        assert!(coin_flip.abs() < 1e-9);
+        let indel_heavy = effective_rate_bps(1000.0, 0.0, 0.3, 0.3);
+        assert_eq!(indel_heavy, 0.0, "clamped at zero");
+    }
+
+    #[test]
+    fn shannon_sanity() {
+        // 2.4 kHz of bit bandwidth at 20 dB ≈ 16 kbps ceiling.
+        let c = shannon_capacity_bps(2400.0, 20.0);
+        assert!((c - 2400.0 * (101f64).log2()).abs() < 1e-6);
+        assert!(shannon_capacity_bps(1000.0, 0.0) > 999.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn invalid_probability_panics() {
+        binary_entropy(1.5);
+    }
+}

@@ -1,0 +1,275 @@
+//! Framing and synchronisation for the covert bitstream.
+//!
+//! §IV-C1: "For synchronization between the transmitter and receiver
+//! at the start of the communication, the transmitter sends a
+//! pre-defined bit-stream of interleaved ones and zeros followed by a
+//! known short bit-stream of zeros only. The transmitter then sends a
+//! preamble to indicate the start of the transmission, and then sends
+//! the actual data."
+
+use crate::coding::{bits_to_bytes, bytes_to_bits, decode_bits, encode_bits};
+use crate::interleave::Interleaver;
+
+/// Default number of alternating sync bits (long enough for the
+/// victim's DVFS governor to settle at its steady state).
+pub const DEFAULT_SYNC_LEN: usize = 48;
+/// Default length of the all-zeros gap after the sync pattern.
+pub const DEFAULT_ZEROS_LEN: usize = 8;
+/// The start-of-transmission marker (chosen to be impossible within
+/// the alternating sync sequence and unlikely in the zeros run).
+pub const START_MARKER: [u8; 8] = [1, 1, 1, 0, 0, 0, 1, 1];
+
+/// Framing parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameConfig {
+    /// Alternating 1/0 bits at the head of a transmission.
+    pub sync_len: usize,
+    /// All-zero bits between sync and marker.
+    pub zeros_len: usize,
+    /// Apply Hamming(7,4) to the payload.
+    pub parity: bool,
+    /// Interleave the coded body at this depth (codewords per block),
+    /// spreading §IV-B4 error bursts across codewords. `None`
+    /// transmits codewords in order, as the paper does.
+    pub interleave_depth: Option<usize>,
+}
+
+impl Default for FrameConfig {
+    fn default() -> Self {
+        FrameConfig {
+            sync_len: DEFAULT_SYNC_LEN,
+            zeros_len: DEFAULT_ZEROS_LEN,
+            parity: true,
+            interleave_depth: None,
+        }
+    }
+}
+
+/// Builds the on-air bit sequence for a payload of bytes:
+/// `[1,0,1,0,…] ++ [0,…] ++ START_MARKER ++ code(len ++ payload)`,
+/// where `len` is a 16-bit big-endian byte count so the receiver can
+/// discard whatever trailing noise decodes after the payload.
+///
+/// # Panics
+///
+/// Panics if the payload exceeds 65 535 bytes.
+pub fn frame_payload(payload: &[u8], config: FrameConfig) -> Vec<u8> {
+    assert!(payload.len() <= u16::MAX as usize, "payload too large for one frame");
+    let mut bits = Vec::new();
+    for i in 0..config.sync_len {
+        bits.push((1 - i % 2) as u8);
+    }
+    bits.extend(std::iter::repeat_n(0u8, config.zeros_len));
+    bits.extend_from_slice(&START_MARKER);
+    let mut body = (payload.len() as u16).to_be_bytes().to_vec();
+    body.extend_from_slice(payload);
+    let payload_bits = bytes_to_bits(&body);
+    if config.parity {
+        let coded = encode_bits(&payload_bits);
+        match config.interleave_depth {
+            Some(depth) => bits.extend(Interleaver::new(7, depth).interleave(&coded)),
+            None => bits.extend(coded),
+        }
+    } else {
+        bits.extend(payload_bits);
+    }
+    bits
+}
+
+/// Result of deframing a received bit sequence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Deframed {
+    /// Recovered payload bytes.
+    pub payload: Vec<u8>,
+    /// Bit index at which the payload started in the received stream.
+    pub payload_start: usize,
+    /// Number of Hamming corrections applied (0 when parity is off).
+    pub corrections: usize,
+}
+
+/// Locates the start marker in a received bit stream (tolerating up to
+/// `max_marker_errors` bit errors in the marker itself) and decodes
+/// the payload that follows. Returns `None` if no marker is found.
+pub fn deframe(received: &[u8], config: FrameConfig, max_marker_errors: usize) -> Option<Deframed> {
+    let m = START_MARKER.len();
+    if received.len() < m {
+        return None;
+    }
+    let mut best: Option<(usize, usize)> = None; // (errors, position)
+    for pos in 0..=received.len() - m {
+        let errors = received[pos..pos + m]
+            .iter()
+            .zip(&START_MARKER)
+            .filter(|(a, b)| (**a & 1) != **b)
+            .count();
+        if errors <= max_marker_errors && best.is_none_or(|(e, _)| errors < e) {
+            best = Some((errors, pos));
+            if errors == 0 {
+                break;
+            }
+        }
+    }
+    let (_, pos) = best?;
+    let payload_start = pos + m;
+    let body = &received[payload_start..];
+    // Decode just the 16-bit length prefix first, then exactly the
+    // declared number of payload bytes — anything after belongs to the
+    // channel (or the next packet), not to this frame.
+    // Undo interleaving first, if the frame used it: the whole coded
+    // body (length header + payload) shares the interleaver blocks.
+    let deinterleaved;
+    let body = match (config.parity, config.interleave_depth) {
+        (true, Some(depth)) => {
+            deinterleaved = Interleaver::new(7, depth).deinterleave(body);
+            deinterleaved.as_slice()
+        }
+        _ => body,
+    };
+    let (header_bits, header_corrections, len_span) = if config.parity {
+        // 16 bits → 4 codewords → 28 coded bits.
+        let span = 28.min(body.len());
+        let (bits, fixes) = decode_bits(&body[..span]);
+        (bits, fixes, span)
+    } else {
+        (body[..16.min(body.len())].to_vec(), 0, 16.min(body.len()))
+    };
+    let header = bits_to_bytes(&header_bits);
+    if header.len() < 2 {
+        return None;
+    }
+    let declared = u16::from_be_bytes([header[0], header[1]]) as usize;
+    let body_span = if config.parity {
+        declared * 8 / 4 * 7
+    } else {
+        declared * 8
+    };
+    let rest = &body[len_span..(len_span + body_span).min(body.len())];
+    let (bits, corrections) = if config.parity {
+        decode_bits(rest)
+    } else {
+        (rest.to_vec(), 0)
+    };
+    let mut bytes = bits_to_bytes(&bits);
+    bytes.truncate(declared);
+    Some(Deframed { payload: bytes, payload_start, corrections: corrections + header_corrections })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_layout() {
+        let cfg = FrameConfig { sync_len: 6, zeros_len: 4, parity: false, interleave_depth: None };
+        let bits = frame_payload(&[0xFF], cfg);
+        assert_eq!(&bits[..6], &[1, 0, 1, 0, 1, 0]);
+        assert_eq!(&bits[6..10], &[0, 0, 0, 0]);
+        assert_eq!(&bits[10..18], &START_MARKER);
+        // 16-bit length (0x0001) precedes the payload byte.
+        assert_eq!(&bits[18..34], &[0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1]);
+        assert_eq!(&bits[34..], &[1; 8]);
+    }
+
+    #[test]
+    fn deframe_round_trip() {
+        let cfg = FrameConfig::default();
+        let payload = b"secret!";
+        let bits = frame_payload(payload, cfg);
+        let out = deframe(&bits, cfg, 0).expect("marker must be found");
+        assert_eq!(out.payload, payload.to_vec());
+        assert_eq!(out.corrections, 0);
+    }
+
+    #[test]
+    fn deframe_corrects_payload_errors() {
+        let cfg = FrameConfig::default();
+        let payload = b"ab";
+        let mut bits = frame_payload(payload, cfg);
+        let start = cfg.sync_len + cfg.zeros_len + START_MARKER.len();
+        bits[start + 2] ^= 1; // 1 error in the first codeword
+        bits[start + 9] ^= 1; // 1 error in the second codeword
+        let out = deframe(&bits, cfg, 0).expect("marker");
+        assert_eq!(out.payload, payload.to_vec());
+        assert_eq!(out.corrections, 2);
+    }
+
+    #[test]
+    fn deframe_tolerates_marker_bit_error() {
+        let cfg = FrameConfig::default();
+        let payload = b"x";
+        let mut bits = frame_payload(payload, cfg);
+        let marker_at = cfg.sync_len + cfg.zeros_len;
+        bits[marker_at + 3] ^= 1;
+        assert!(deframe(&bits, cfg, 0).is_none() || deframe(&bits, cfg, 0).unwrap().payload != payload.to_vec());
+        let out = deframe(&bits, cfg, 1).expect("tolerant deframe");
+        assert_eq!(out.payload, payload.to_vec());
+    }
+
+    #[test]
+    fn deframe_ignores_leading_noise() {
+        let cfg = FrameConfig::default();
+        let payload = b"hi";
+        let mut bits = vec![0u8, 1, 1, 0, 1, 0, 0, 1, 0, 1, 1];
+        bits.extend(frame_payload(payload, cfg));
+        let out = deframe(&bits, cfg, 0).expect("marker");
+        assert_eq!(out.payload, payload.to_vec());
+    }
+
+    #[test]
+    fn deframe_without_marker_returns_none() {
+        let cfg = FrameConfig::default();
+        let stream = vec![0u8; 64];
+        assert!(deframe(&stream, cfg, 0).is_none());
+    }
+
+    #[test]
+    fn interleaved_frame_round_trips() {
+        let cfg = FrameConfig { interleave_depth: Some(7), ..FrameConfig::default() };
+        let payload = b"interleaved payload";
+        let bits = frame_payload(payload, cfg);
+        let out = deframe(&bits, cfg, 0).expect("marker");
+        assert_eq!(out.payload, payload.to_vec());
+    }
+
+    #[test]
+    fn interleaved_frame_survives_a_burst() {
+        let cfg = FrameConfig { interleave_depth: Some(7), ..FrameConfig::default() };
+        let payload = b"burst-proof";
+        let mut bits = frame_payload(payload, cfg);
+        let body_start = cfg.sync_len + cfg.zeros_len + START_MARKER.len();
+        // A 6-bit burst inside the body (≤ depth−1 to guarantee ≤1 hit
+        // per codeword even when the burst straddles codeword phase).
+        for b in bits.iter_mut().skip(body_start + 30).take(6) {
+            *b ^= 1;
+        }
+        let out = deframe(&bits, cfg, 0).expect("marker");
+        assert_eq!(out.payload, payload.to_vec(), "interleaving must absorb the burst");
+        // The same burst without interleaving corrupts the payload.
+        let plain_cfg = FrameConfig::default();
+        let mut plain = frame_payload(payload, plain_cfg);
+        for b in plain.iter_mut().skip(body_start + 30).take(6) {
+            *b ^= 1;
+        }
+        let broken = deframe(&plain, plain_cfg, 0).expect("marker");
+        assert_ne!(broken.payload, payload.to_vec());
+    }
+
+    #[test]
+    fn marker_cannot_appear_in_sync_or_zeros() {
+        // Sliding the marker over an alternating or zero sequence must
+        // always produce ≥2 mismatches, so a 1-error-tolerant search
+        // cannot lock onto the header.
+        let cfg = FrameConfig::default();
+        let header: Vec<u8> = frame_payload(&[], cfg)
+            [..cfg.sync_len + cfg.zeros_len]
+            .to_vec();
+        for pos in 0..=header.len() - START_MARKER.len() {
+            let errors = header[pos..pos + START_MARKER.len()]
+                .iter()
+                .zip(&START_MARKER)
+                .filter(|(a, b)| **a != **b)
+                .count();
+            assert!(errors >= 2, "marker aliases header at {pos}");
+        }
+    }
+}

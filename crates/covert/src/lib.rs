@@ -1,0 +1,43 @@
+//! The PMU-EM covert channel: transmitter, receiver and metrics.
+//!
+//! Implements §IV of the HPCA 2020 paper end to end:
+//!
+//! - [`tx`]: the Fig. 3 transmitter — return-to-zero coding of bits
+//!   into busy/`usleep` phases of a user-level program,
+//! - [`coding`]: the Hamming(7,4) parity code (min distance 3) of
+//!   §IV-B4 / §IV-C2,
+//! - [`frame`]: sync/marker framing (§IV-C1),
+//! - [`packets`]: packetised transfers that bound insertion/deletion
+//!   damage to one packet (§IV-C1 "the data can be sent in packets"),
+//! - [`rx`]: the batch receiver — Eq. (1) energy signal, Fig. 5 edge
+//!   detection, Fig. 6 median timing with gap filling, Fig. 7 bimodal
+//!   threshold labeling,
+//! - [`matched`]: the matched-filter receiver the paper rejected
+//!   (kept for the ablation),
+//! - [`metrics`]: insertion/deletion-aware alignment producing the
+//!   BER/IP/DP numbers of Tables II and III,
+//! - [`capacity`]: information-theoretic bounds on the measured
+//!   channel (BSC capacity, indel-discounted effective rate),
+//! - [`interleave`]: block interleaving so error bursts spread across
+//!   codewords (a natural strengthening of §IV-B4's parity scheme).
+//!
+//! The full physical chain (machine → VRM → EM scene → SDR) is
+//! composed in `emsc-core`; this crate's end-to-end tests wire it up
+//! manually.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod capacity;
+pub mod coding;
+pub mod frame;
+pub mod interleave;
+pub mod matched;
+pub mod metrics;
+pub mod packets;
+pub mod rx;
+pub mod tx;
+
+pub use metrics::{align, align_semiglobal, align_trace, AlignOp, Alignment};
+pub use rx::{Receiver, RxConfig, RxReport};
+pub use tx::{Transmitter, TxConfig};

@@ -1,0 +1,199 @@
+//! Packetised transfers: bounding indel damage.
+//!
+//! §IV-C1: "Depending on the requirement, the data can be sent in
+//! packets or continuously." A single bit insertion or deletion shifts
+//! everything after it — fatal to a long monolithic frame, since the
+//! Hamming code only corrects substitutions. Splitting the payload
+//! into independently-framed packets re-synchronises the receiver at
+//! every packet marker, so an indel costs one packet instead of the
+//! rest of the transmission.
+
+use crate::frame::{deframe, frame_payload, FrameConfig, START_MARKER};
+
+/// Packetisation parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PacketConfig {
+    /// Payload bytes per packet.
+    pub packet_bytes: usize,
+    /// Per-packet framing.
+    pub frame: FrameConfig,
+    /// Idle bits between packets (gives the receiver a quiet gap to
+    /// re-synchronise on).
+    pub inter_packet_zeros: usize,
+}
+
+impl Default for PacketConfig {
+    fn default() -> Self {
+        PacketConfig {
+            packet_bytes: 16,
+            frame: FrameConfig {
+                // Later packets don't need the long governor-warm-up
+                // sync of the first one.
+                sync_len: 12,
+                ..FrameConfig::default()
+            },
+            inter_packet_zeros: 4,
+        }
+    }
+}
+
+/// Builds the on-air bit sequence for `payload` as a train of
+/// sequence-numbered packets. Each packet body is
+/// `[seq: u8] ++ chunk`, framed and coded independently.
+///
+/// # Panics
+///
+/// Panics if `packet_bytes` is zero or the payload needs more than
+/// 256 packets.
+pub fn packetize(payload: &[u8], config: PacketConfig) -> Vec<u8> {
+    assert!(config.packet_bytes > 0, "packets must hold at least one byte");
+    let n_packets = payload.len().div_ceil(config.packet_bytes).max(1);
+    assert!(n_packets <= 256, "payload needs more than 256 packets");
+    let mut bits = Vec::new();
+    for (seq, chunk) in payload.chunks(config.packet_bytes.max(1)).enumerate() {
+        let mut body = Vec::with_capacity(chunk.len() + 1);
+        body.push(seq as u8);
+        body.extend_from_slice(chunk);
+        bits.extend(frame_payload(&body, config.frame));
+        bits.extend(std::iter::repeat_n(0u8, config.inter_packet_zeros));
+    }
+    if payload.is_empty() {
+        bits.extend(frame_payload(&[0], config.frame));
+    }
+    bits
+}
+
+/// One reassembled packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveredPacket {
+    /// Sequence number carried in the packet.
+    pub seq: u8,
+    /// Payload bytes.
+    pub data: Vec<u8>,
+    /// Hamming corrections applied inside this packet.
+    pub corrections: usize,
+}
+
+/// Result of depacketising a received bitstream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Reassembly {
+    /// Packets recovered, in sequence order (duplicates dropped).
+    pub packets: Vec<RecoveredPacket>,
+    /// Sequence numbers in `0..expected` that never arrived (only
+    /// meaningful when the expected count is known).
+    pub missing: Vec<u8>,
+    /// The reassembled payload (holes skipped).
+    pub payload: Vec<u8>,
+}
+
+/// Scans a received bitstream for packet markers and reassembles the
+/// payload. `expected_packets` (when known) drives the missing-packet
+/// report; pass `None` to accept whatever arrives.
+pub fn depacketize(
+    received: &[u8],
+    config: PacketConfig,
+    expected_packets: Option<usize>,
+) -> Reassembly {
+    let m = START_MARKER.len();
+    let mut packets: Vec<RecoveredPacket> = Vec::new();
+    let mut pos = 0usize;
+    while pos + m <= received.len() {
+        match deframe(&received[pos..], config.frame, 1) {
+            Some(d) if !d.payload.is_empty() => {
+                let seq = d.payload[0];
+                let plausible =
+                    expected_packets.is_none_or(|n| (seq as usize) < n);
+                if plausible && !packets.iter().any(|p| p.seq == seq) {
+                    packets.push(RecoveredPacket {
+                        seq,
+                        data: d.payload[1..].to_vec(),
+                        corrections: d.corrections,
+                    });
+                }
+                // Advance past the whole packet: marker + the coded
+                // body ((2-byte length + body) × 8 bits at rate 4/7).
+                let body_bits = (2 + d.payload.len()) * 14;
+                pos += d.payload_start + body_bits;
+            }
+            _ => break,
+        }
+    }
+    packets.sort_by_key(|p| p.seq);
+    let missing = match expected_packets {
+        Some(n) => (0..n as u8).filter(|s| !packets.iter().any(|p| p.seq == *s)).collect(),
+        None => Vec::new(),
+    };
+    let payload = packets.iter().flat_map(|p| p.data.iter().copied()).collect();
+    Reassembly { packets, missing, payload }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_multiple_packets() {
+        let cfg = PacketConfig { packet_bytes: 8, ..PacketConfig::default() };
+        let payload = b"0123456789abcdefghijklmn"; // 24 bytes → 3 packets
+        let bits = packetize(payload, cfg);
+        let out = depacketize(&bits, cfg, Some(3));
+        assert_eq!(out.packets.len(), 3);
+        assert!(out.missing.is_empty());
+        assert_eq!(out.payload, payload.to_vec());
+    }
+
+    #[test]
+    fn an_indel_costs_one_packet_not_the_rest() {
+        let cfg = PacketConfig { packet_bytes: 8, ..PacketConfig::default() };
+        let payload = b"0123456789abcdefghijklmn";
+        let mut bits = packetize(payload, cfg);
+        // Delete a bit inside packet 1's body (past its marker).
+        let packet_len = bits.len() / 3;
+        bits.remove(packet_len + packet_len / 2);
+        let out = depacketize(&bits, cfg, Some(3));
+        // Packets 0 and 2 still arrive exactly.
+        let p0 = out.packets.iter().find(|p| p.seq == 0).expect("packet 0");
+        let p2 = out.packets.iter().find(|p| p.seq == 2).expect("packet 2");
+        assert_eq!(p0.data, b"01234567".to_vec());
+        assert_eq!(p2.data, b"ghijklmn".to_vec());
+    }
+
+    #[test]
+    fn duplicate_sequence_numbers_are_dropped() {
+        let cfg = PacketConfig { packet_bytes: 4, ..PacketConfig::default() };
+        let mut bits = packetize(b"abcd", cfg);
+        let copy = bits.clone();
+        bits.extend(copy); // replay the same packet
+        let out = depacketize(&bits, cfg, Some(1));
+        assert_eq!(out.packets.len(), 1);
+        assert_eq!(out.payload, b"abcd".to_vec());
+    }
+
+    #[test]
+    fn missing_packets_are_reported() {
+        let cfg = PacketConfig { packet_bytes: 4, ..PacketConfig::default() };
+        let bits_full = packetize(b"aaaabbbbcccc", cfg);
+        // Keep only the first and last thirds (drop packet 1 wholesale).
+        let third = bits_full.len() / 3;
+        let mut bits = bits_full[..third].to_vec();
+        bits.extend_from_slice(&bits_full[2 * third..]);
+        let out = depacketize(&bits, cfg, Some(3));
+        assert_eq!(out.missing, vec![1]);
+        assert_eq!(out.payload, b"aaaacccc".to_vec());
+    }
+
+    #[test]
+    fn empty_payload_round_trips() {
+        let cfg = PacketConfig::default();
+        let bits = packetize(&[], cfg);
+        let out = depacketize(&bits, cfg, None);
+        assert!(out.payload.len() <= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "256 packets")]
+    fn oversized_payload_panics() {
+        let cfg = PacketConfig { packet_bytes: 1, ..PacketConfig::default() };
+        packetize(&vec![0u8; 300], cfg);
+    }
+}

@@ -1,0 +1,153 @@
+//! Environmental interference: other switching emitters and thermal
+//! noise.
+//!
+//! The paper's NLoS experiment (Fig. 10) deliberately includes "other
+//! electronic devices such as a printer in the transmitter's room and
+//! a refrigerator in the receiver's room which also generate
+//! unintentional EM emanations". Those devices contain their own
+//! switching converters/inverters, so we model each interferer as a
+//! comb of harmonics from its own switching fundamental, plus additive
+//! white Gaussian thermal noise.
+
+use emsc_sdr::iq::Complex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One interfering emitter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interferer {
+    /// Switching fundamental of the interferer, hertz.
+    pub fundamental_hz: f64,
+    /// Received amplitude of its fundamental (same units as the
+    /// signal of interest after path loss).
+    pub amplitude: f64,
+    /// Number of harmonics to include.
+    pub harmonics: u32,
+    /// Per-harmonic amplitude rolloff factor (amplitude of harmonic
+    /// `h` is `amplitude · rolloff^(h−1)`).
+    pub rolloff: f64,
+}
+
+impl Interferer {
+    /// A laser-printer switching supply near the transmitter.
+    pub fn printer(amplitude: f64) -> Self {
+        Interferer { fundamental_hz: 310e3, amplitude, harmonics: 8, rolloff: 0.6 }
+    }
+
+    /// A refrigerator compressor inverter near the receiver.
+    pub fn refrigerator(amplitude: f64) -> Self {
+        Interferer { fundamental_hz: 64e3, amplitude, harmonics: 20, rolloff: 0.8 }
+    }
+
+    /// Adds this interferer's comb to `buf` (complex baseband around
+    /// `center_freq` at `sample_rate`), with a deterministic per-
+    /// harmonic starting phase derived from `seed`.
+    pub fn add_to(&self, buf: &mut [Complex], sample_rate: f64, center_freq: f64, seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed ^ (self.fundamental_hz.to_bits()));
+        for h in 1..=self.harmonics {
+            let f_rf = self.fundamental_hz * h as f64;
+            let f_bb = f_rf - center_freq;
+            if f_bb.abs() > sample_rate / 2.0 {
+                continue;
+            }
+            let amp = self.amplitude * self.rolloff.powi(h as i32 - 1);
+            let phase0: f64 = rng.gen::<f64>() * 2.0 * std::f64::consts::PI;
+            let step = 2.0 * std::f64::consts::PI * f_bb / sample_rate;
+            let mut phase = phase0;
+            for slot in buf.iter_mut() {
+                *slot += Complex::from_polar(amp, phase);
+                phase += step;
+            }
+        }
+    }
+}
+
+/// Adds circular complex AWGN of standard deviation `sigma` (per
+/// complex sample) to `buf`, deterministically from `seed`.
+pub fn add_awgn(buf: &mut [Complex], sigma: f64, seed: u64) {
+    if sigma <= 0.0 {
+        return;
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let s = sigma / 2f64.sqrt();
+    for slot in buf.iter_mut() {
+        // Box–Muller
+        let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.gen::<f64>();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        *slot += Complex::new(s * r * theta.cos(), s * r * theta.sin());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emsc_sdr::fft::{fft, frequency_bin};
+
+    #[test]
+    fn awgn_statistics() {
+        let mut buf = vec![Complex::ZERO; 50_000];
+        add_awgn(&mut buf, 0.5, 7);
+        let mean: Complex = buf.iter().copied().sum::<Complex>() / buf.len() as f64;
+        assert!(mean.abs() < 0.01, "mean {}", mean.abs());
+        let power: f64 = buf.iter().map(|z| z.norm_sqr()).sum::<f64>() / buf.len() as f64;
+        assert!((power - 0.25).abs() < 0.01, "power {power}");
+    }
+
+    #[test]
+    fn awgn_zero_sigma_is_noop() {
+        let mut buf = vec![Complex::new(1.0, -1.0); 16];
+        add_awgn(&mut buf, 0.0, 3);
+        assert!(buf.iter().all(|z| *z == Complex::new(1.0, -1.0)));
+    }
+
+    #[test]
+    fn awgn_deterministic_per_seed() {
+        let mut a = vec![Complex::ZERO; 64];
+        let mut b = vec![Complex::ZERO; 64];
+        add_awgn(&mut a, 1.0, 42);
+        add_awgn(&mut b, 1.0, 42);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn interferer_comb_lands_on_harmonics() {
+        let fs = 2.4e6;
+        let fc = 1.4e6;
+        let n = 8192;
+        let mut buf = vec![Complex::ZERO; n];
+        let intf = Interferer { fundamental_hz: 300e3, amplitude: 1.0, harmonics: 8, rolloff: 0.5 };
+        intf.add_to(&mut buf, fs, fc, 1);
+        let spec = fft(&buf);
+        // Harmonic 5 at 1.5 MHz is in-band at +100 kHz baseband.
+        let k5 = frequency_bin(1.5e6 - fc, n, fs);
+        let a5 = spec[k5].abs() / n as f64;
+        assert!((a5 - 0.5f64.powi(4)).abs() < 0.02, "h5 amplitude {a5}");
+        // Harmonic 1 at 300 kHz is out of band (−1.1 MHz edge? in-band: −1.1 MHz is within ±1.2) —
+        // pick harmonic far out of band instead: none beyond ±1.2 MHz must appear.
+        let out_of_band_energy: f64 = (0..n)
+            .filter(|&k| {
+                let f = emsc_sdr::fft::bin_frequency(k, n, fs);
+                f.abs() > 1.19e6
+            })
+            .map(|k| spec[k].abs() / n as f64)
+            .fold(0.0, f64::max);
+        assert!(out_of_band_energy < 0.05, "edge leakage {out_of_band_energy}");
+    }
+
+    #[test]
+    fn printer_and_fridge_have_distinct_fundamentals() {
+        let p = Interferer::printer(1.0);
+        let f = Interferer::refrigerator(1.0);
+        assert_ne!(p.fundamental_hz, f.fundamental_hz);
+        // Neither coincides with a typical VRM fundamental (~970 kHz):
+        for intf in [p, f] {
+            for h in 1..=intf.harmonics {
+                let f_h = intf.fundamental_hz * h as f64;
+                // Separation > 2 FFT bins at 2.4 Msps / 1024 points (2.34 kHz/bin).
+                assert!((f_h - 970e3).abs() > 5e3, "harmonic {f_h} collides with f_sw");
+            }
+        }
+    }
+}

@@ -1,0 +1,265 @@
+//! Synthesis of the VRM's electromagnetic emission at complex baseband.
+//!
+//! Each replenishment pulse is a burst of `di/dt` which, by Faraday's
+//! law, produces a magnetic-field transient whose strength scales with
+//! the transferred charge. A pulse train that fires every switching
+//! period therefore emits strong spectral lines at `f_sw` and its
+//! harmonics; a pulse-skipped train emits proportionally weaker lines
+//! (§II of the paper).
+//!
+//! We synthesise the *complex baseband* representation of that field
+//! around a tuner centre frequency `f_c` at sample rate `fs`: a pulse
+//! of charge `Q` at time `t_k` contributes a band-limited impulse
+//!
+//! ```text
+//! s(t) += Q · fs · e^{−2πi·f_c·t_k} · k((t − t_k)·fs)
+//! ```
+//!
+//! where `k` is a windowed-sinc interpolation kernel. The kernel acts
+//! as the receiver's anti-alias filter (out-of-band harmonics are
+//! attenuated instead of folding onto the measurement bins), while the
+//! complex exponential carries the carrier phase, so spectral lines,
+//! PFM sub-harmonics, and the phase decoherence caused by the
+//! switching-randomisation countermeasure all emerge naturally in the
+//! capture's spectrum.
+
+use emsc_sdr::iq::Complex;
+use emsc_vrm::train::SwitchingTrain;
+
+/// Half-width of the interpolation kernel, in samples.
+const KERNEL_HALF_WIDTH: usize = 6;
+
+/// Synthesis parameters: where the receiver is tuned and how fast it
+/// samples.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SynthConfig {
+    /// Complex sample rate, samples/second.
+    pub sample_rate: f64,
+    /// Tuner centre frequency, hertz. Choose it so `f_sw` and `2·f_sw`
+    /// both land within `±sample_rate/2`.
+    pub center_freq: f64,
+}
+
+impl SynthConfig {
+    /// The paper's receiver setup for a given switching frequency:
+    /// 2.4 Msps with the tuner centred midway between the fundamental
+    /// and its first harmonic so both are in-band (§IV-B1 uses exactly
+    /// those two components).
+    pub fn rtl_sdr_for(f_sw: f64) -> Self {
+        SynthConfig { sample_rate: 2.4e6, center_freq: 1.5 * f_sw }
+    }
+
+    /// Baseband offset of RF frequency `f` under this configuration.
+    pub fn baseband(&self, f: f64) -> f64 {
+        f - self.center_freq
+    }
+}
+
+/// Windowed-sinc interpolation kernel evaluated at a fractional sample
+/// offset `x` (Hann-windowed, cutoff at Nyquist).
+fn kernel(x: f64) -> f64 {
+    let half = KERNEL_HALF_WIDTH as f64;
+    if x.abs() >= half {
+        return 0.0;
+    }
+    let sinc = if x.abs() < 1e-12 {
+        1.0
+    } else {
+        let px = std::f64::consts::PI * x;
+        px.sin() / px
+    };
+    let window = 0.5 * (1.0 + (std::f64::consts::PI * x / half).cos());
+    sinc * window
+}
+
+/// Renders a switching train into an ideal (noise-free, unit-path)
+/// complex-baseband waveform of `n_samples` samples.
+///
+/// The output amplitude is in "source amperes": a VRM continuously
+/// replenishing `I` amperes produces a spectral line of complex
+/// amplitude ≈ `I` at baseband frequency `f_sw − f_c`.
+///
+/// # Examples
+///
+/// ```
+/// use emsc_vrm::train::{Pulse, SwitchingTrain};
+/// use emsc_emfield::synth::{render_train, SynthConfig};
+///
+/// // A perfectly regular 1 MHz train carrying 2 µC per pulse.
+/// let train = SwitchingTrain {
+///     pulses: (0..2000).map(|k| Pulse { t_s: k as f64 * 1e-6, charge_c: 2e-6 }).collect(),
+///     nominal_period_s: 1e-6,
+///     duration_s: 2e-3,
+/// };
+/// let cfg = SynthConfig::rtl_sdr_for(1e6);
+/// let iq = render_train(&train, cfg, 4096);
+/// assert_eq!(iq.len(), 4096);
+/// ```
+pub fn render_train(train: &SwitchingTrain, config: SynthConfig, n_samples: usize) -> Vec<Complex> {
+    let fs = config.sample_rate;
+    let mut out = vec![Complex::ZERO; n_samples];
+    for pulse in &train.pulses {
+        let carrier = Complex::cis(-2.0 * std::f64::consts::PI * config.center_freq * pulse.t_s);
+        let amp = pulse.charge_c * fs;
+        let center = pulse.t_s * fs;
+        let lo = (center - KERNEL_HALF_WIDTH as f64).ceil().max(0.0) as usize;
+        let hi = ((center + KERNEL_HALF_WIDTH as f64).floor() as usize).min(n_samples.saturating_sub(1));
+        for (n, slot) in out.iter_mut().enumerate().take(hi + 1).skip(lo) {
+            *slot += carrier.scale(amp * kernel(n as f64 - center));
+        }
+    }
+    out
+}
+
+/// Number of samples needed to cover a train's full duration.
+pub fn samples_for(train: &SwitchingTrain, config: SynthConfig) -> usize {
+    (train.duration_s * config.sample_rate).ceil() as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emsc_sdr::fft::{fft, frequency_bin};
+    use emsc_vrm::train::Pulse;
+
+    fn regular_train(f_sw: f64, charge_c: f64, duration_s: f64) -> SwitchingTrain {
+        let period = 1.0 / f_sw;
+        let n = (duration_s / period) as usize;
+        SwitchingTrain {
+            pulses: (0..n).map(|k| Pulse { t_s: k as f64 * period, charge_c }).collect(),
+            nominal_period_s: period,
+            duration_s,
+        }
+    }
+
+    fn spectrum_peak_near(iq: &[Complex], fs: f64, f_bb: f64, fft_size: usize) -> f64 {
+        let spec = fft(&iq[..fft_size]);
+        let k = frequency_bin(f_bb, fft_size, fs);
+        // allow ±1 bin
+        let mut best = 0.0f64;
+        for dk in [-1i64, 0, 1] {
+            let idx = (k as i64 + dk).rem_euclid(fft_size as i64) as usize;
+            best = best.max(spec[idx].abs());
+        }
+        best / fft_size as f64
+    }
+
+    #[test]
+    fn kernel_is_interpolating() {
+        assert!((kernel(0.0) - 1.0).abs() < 1e-12);
+        for m in 1..KERNEL_HALF_WIDTH {
+            assert!(kernel(m as f64).abs() < 1e-12, "kernel({m}) not zero");
+        }
+        assert_eq!(kernel(100.0), 0.0);
+    }
+
+    #[test]
+    fn spectral_line_amplitude_equals_mean_current() {
+        // 937.5 kHz train of 8 µC pulses = 8 A mean replenish current.
+        // (937.5 kHz puts the baseband line exactly on FFT bin −1600
+        // of 8192 at 2.4 Msps, avoiding scalloping loss in the check.)
+        let f_sw = 937.5e3;
+        let train = regular_train(f_sw, 8e-6, 10e-3);
+        let cfg = SynthConfig::rtl_sdr_for(f_sw);
+        let iq = render_train(&train, cfg, samples_for(&train, cfg));
+        let line = spectrum_peak_near(&iq, cfg.sample_rate, cfg.baseband(f_sw), 8192);
+        assert!((line - 8.0).abs() / 8.0 < 0.15, "line amplitude {line}");
+    }
+
+    #[test]
+    fn first_harmonic_is_present() {
+        let f_sw = 970e3;
+        let train = regular_train(f_sw, 5e-6, 10e-3);
+        let cfg = SynthConfig::rtl_sdr_for(f_sw);
+        let iq = render_train(&train, cfg, samples_for(&train, cfg));
+        let h1 = spectrum_peak_near(&iq, cfg.sample_rate, cfg.baseband(f_sw), 8192);
+        let h2 = spectrum_peak_near(&iq, cfg.sample_rate, cfg.baseband(2.0 * f_sw), 8192);
+        assert!(h1 > 2.0, "fundamental {h1}");
+        assert!(h2 > 1.0, "harmonic {h2}");
+    }
+
+    #[test]
+    fn sparse_train_has_proportionally_weaker_line() {
+        let f_sw = 937.5e3;
+        let cfg = SynthConfig::rtl_sdr_for(f_sw);
+        let dense = regular_train(f_sw, 8e-6, 10e-3);
+        // Every 16th period, same per-pulse charge-cap style as PFM:
+        let sparse = SwitchingTrain {
+            pulses: dense
+                .pulses
+                .iter()
+                .step_by(16)
+                .copied()
+                .collect(),
+            ..dense.clone()
+        };
+        let iq_d = render_train(&dense, cfg, samples_for(&dense, cfg));
+        let iq_s = render_train(&sparse, cfg, samples_for(&sparse, cfg));
+        let line_d = spectrum_peak_near(&iq_d, cfg.sample_rate, cfg.baseband(f_sw), 8192);
+        let line_s = spectrum_peak_near(&iq_s, cfg.sample_rate, cfg.baseband(f_sw), 8192);
+        let ratio = line_d / line_s;
+        assert!((ratio - 16.0).abs() < 3.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn randomized_periods_spread_the_line() {
+        // Jitter each pulse time by ±50 % of a period: the coherent
+        // line at f_sw collapses.
+        let f_sw = 937.5e3;
+        let cfg = SynthConfig::rtl_sdr_for(f_sw);
+        let regular = regular_train(f_sw, 8e-6, 10e-3);
+        let mut jittered = regular.clone();
+        let mut state = 0x12345u64;
+        for p in &mut jittered.pulses {
+            // xorshift for a dependency-free deterministic jitter
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let u = (state % 10_000) as f64 / 10_000.0 - 0.5;
+            p.t_s += u / f_sw;
+        }
+        let iq_r = render_train(&regular, cfg, samples_for(&regular, cfg));
+        let iq_j = render_train(&jittered, cfg, samples_for(&jittered, cfg));
+        let line_r = spectrum_peak_near(&iq_r, cfg.sample_rate, cfg.baseband(f_sw), 8192);
+        let line_j = spectrum_peak_near(&iq_j, cfg.sample_rate, cfg.baseband(f_sw), 8192);
+        assert!(line_r > 3.0 * line_j, "regular {line_r} vs jittered {line_j}");
+    }
+
+    #[test]
+    fn out_of_band_harmonics_are_attenuated() {
+        // Harmonic 3 of a 970 kHz train sits at 2.91 MHz, outside the
+        // ±1.2 MHz band around the 1.455 MHz tuner: after the kernel's
+        // anti-alias response its folded image must be much weaker
+        // than the in-band lines.
+        let f_sw = 970e3;
+        let cfg = SynthConfig::rtl_sdr_for(f_sw);
+        let train = regular_train(f_sw, 8e-6, 10e-3);
+        let iq = render_train(&train, cfg, samples_for(&train, cfg));
+        let in_band = spectrum_peak_near(&iq, cfg.sample_rate, cfg.baseband(f_sw), 8192);
+        // Folded image of h3: offset 2.91 MHz − 1.455 MHz = 1.455 MHz
+        // wraps to 1.455 − 2.4 = −0.945 MHz.
+        let folded = spectrum_peak_near(&iq, cfg.sample_rate, 2.0 * f_sw - 2.4e6 + f_sw - cfg.center_freq, 8192);
+        assert!(in_band > 4.0 * folded, "in-band {in_band} vs folded {folded}");
+    }
+
+    #[test]
+    fn render_is_linear_in_charge() {
+        let f_sw = 1e6;
+        let cfg = SynthConfig::rtl_sdr_for(f_sw);
+        let a = regular_train(f_sw, 2e-6, 2e-3);
+        let b = regular_train(f_sw, 4e-6, 2e-3);
+        let ia = render_train(&a, cfg, 4096);
+        let ib = render_train(&b, cfg, 4096);
+        for (x, y) in ia.iter().zip(&ib) {
+            assert!((y.abs() - 2.0 * x.abs()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn empty_train_renders_silence() {
+        let train = SwitchingTrain { pulses: Vec::new(), nominal_period_s: 1e-6, duration_s: 1e-3 };
+        let cfg = SynthConfig::rtl_sdr_for(1e6);
+        let iq = render_train(&train, cfg, 2400);
+        assert!(iq.iter().all(|z| z.abs() == 0.0));
+    }
+}

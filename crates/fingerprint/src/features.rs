@@ -1,0 +1,142 @@
+//! Feature extraction from detected activity bursts.
+//!
+//! The attacker sees only what the EM detector gives her: a list of
+//! activity bursts with start times and durations. The features below
+//! capture the structure §III says is exploitable — *how long* the
+//! processor was active and in what pattern.
+
+use emsc_keylog::detect::DetectedBurst;
+
+/// Number of features in a [`FeatureVector`].
+pub const FEATURE_DIM: usize = 6;
+
+/// A fixed-size feature vector describing one observed page load.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FeatureVector {
+    /// The features: total active time, load span, burst count,
+    /// longest burst, mean burst, mean inter-burst gap.
+    pub values: [f64; FEATURE_DIM],
+}
+
+impl FeatureVector {
+    /// Extracts features from a burst list (assumed to belong to one
+    /// page load, time-ordered). Returns `None` when no bursts were
+    /// detected.
+    pub fn from_bursts(bursts: &[DetectedBurst]) -> Option<Self> {
+        if bursts.is_empty() {
+            return None;
+        }
+        let total_active: f64 = bursts.iter().map(|b| b.duration_s).sum();
+        let start = bursts.first().expect("non-empty").start_s;
+        let end = bursts.iter().map(|b| b.end_s()).fold(0.0, f64::max);
+        let span = end - start;
+        let count = bursts.len() as f64;
+        let longest = bursts.iter().map(|b| b.duration_s).fold(0.0, f64::max);
+        let mean = total_active / count;
+        let mean_gap = if bursts.len() > 1 {
+            bursts
+                .windows(2)
+                .map(|w| (w[1].start_s - w[0].end_s()).max(0.0))
+                .sum::<f64>()
+                / (bursts.len() - 1) as f64
+        } else {
+            0.0
+        };
+        Some(FeatureVector { values: [total_active, span, count, longest, mean, mean_gap] })
+    }
+
+    /// Euclidean distance to another vector under per-dimension scales
+    /// (pass the training set's standard deviations to normalise).
+    pub fn distance(&self, other: &FeatureVector, scales: &[f64; FEATURE_DIM]) -> f64 {
+        self.values
+            .iter()
+            .zip(&other.values)
+            .zip(scales)
+            .map(|((a, b), s)| {
+                let d = (a - b) / s.max(1e-9);
+                d * d
+            })
+            .sum::<f64>()
+            .sqrt()
+    }
+}
+
+/// Per-dimension standard deviations of a feature set (for distance
+/// normalisation). Dimensions with no spread get scale 1.
+pub fn feature_scales(features: &[FeatureVector]) -> [f64; FEATURE_DIM] {
+    let mut scales = [1.0; FEATURE_DIM];
+    if features.len() < 2 {
+        return scales;
+    }
+    for (d, scale) in scales.iter_mut().enumerate() {
+        let mean =
+            features.iter().map(|f| f.values[d]).sum::<f64>() / features.len() as f64;
+        let var = features
+            .iter()
+            .map(|f| (f.values[d] - mean).powi(2))
+            .sum::<f64>()
+            / (features.len() - 1) as f64;
+        if var.sqrt() > 1e-12 {
+            *scale = var.sqrt();
+        }
+    }
+    scales
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn burst(start_s: f64, duration_s: f64) -> DetectedBurst {
+        DetectedBurst { start_s, duration_s }
+    }
+
+    #[test]
+    fn features_of_a_known_pattern() {
+        let bursts = [burst(1.0, 0.2), burst(1.5, 0.1), burst(2.0, 0.3)];
+        let f = FeatureVector::from_bursts(&bursts).unwrap();
+        let [total, span, count, longest, mean, mean_gap] = f.values;
+        assert!((total - 0.6).abs() < 1e-12);
+        assert!((span - 1.3).abs() < 1e-12); // 1.0 → 2.3
+        assert!((count - 3.0).abs() < 1e-12);
+        assert!((longest - 0.3).abs() < 1e-12);
+        assert!((mean - 0.2).abs() < 1e-12);
+        // gaps: 1.5−1.2 = 0.3 and 2.0−1.6 = 0.4 → mean 0.35
+        assert!((mean_gap - 0.35).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_bursts_give_no_features() {
+        assert!(FeatureVector::from_bursts(&[]).is_none());
+    }
+
+    #[test]
+    fn single_burst_has_zero_gap() {
+        let f = FeatureVector::from_bursts(&[burst(0.5, 0.4)]).unwrap();
+        assert_eq!(f.values[5], 0.0);
+        assert!((f.values[1] - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distance_is_zero_to_self_and_symmetric() {
+        let a = FeatureVector { values: [1.0, 2.0, 3.0, 0.5, 0.2, 0.1] };
+        let b = FeatureVector { values: [2.0, 1.0, 3.0, 0.4, 0.3, 0.2] };
+        let scales = [1.0; FEATURE_DIM];
+        assert_eq!(a.distance(&a, &scales), 0.0);
+        assert!((a.distance(&b, &scales) - b.distance(&a, &scales)).abs() < 1e-12);
+        assert!(a.distance(&b, &scales) > 0.0);
+    }
+
+    #[test]
+    fn scales_normalise_spread() {
+        let features = vec![
+            FeatureVector { values: [0.0, 100.0, 0.0, 0.0, 0.0, 0.0] },
+            FeatureVector { values: [1.0, 300.0, 0.0, 0.0, 0.0, 0.0] },
+            FeatureVector { values: [2.0, 200.0, 0.0, 0.0, 0.0, 0.0] },
+        ];
+        let scales = feature_scales(&features);
+        assert!((scales[0] - 1.0).abs() < 1e-9);
+        assert!((scales[1] - 100.0).abs() < 1e-9);
+        assert_eq!(scales[2], 1.0, "zero-spread dimension keeps scale 1");
+    }
+}

@@ -1,0 +1,29 @@
+//! Website/application fingerprinting over the PMU EM side channel.
+//!
+//! §III of the paper lists, beyond the covert channel and keylogging,
+//! a third way to exploit the VRM emanation: "the attacker can monitor
+//! these signals to infer … how long the processor was active to
+//! process a certain task. Such information, for example, can be used
+//! for website fingerprinting." This crate implements that attack
+//! end to end (as an *extension* — the paper describes but does not
+//! evaluate it):
+//!
+//! - [`workload`]: synthetic page-load activity profiles
+//!   ([`workload::SiteProfile`]) with per-visit jitter,
+//! - [`features`]: burst-pattern features extracted from what the EM
+//!   detector sees ([`features::FeatureVector`]),
+//! - [`classify`]: a k-NN classifier with leave-one-out evaluation.
+//!
+//! The full physical chain is composed in
+//! `emsc_core::fingerprint_run`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod classify;
+pub mod features;
+pub mod workload;
+
+pub use classify::{leave_one_out, leave_one_out_accuracy, Classifier, Confusion, LabeledVisit};
+pub use features::{FeatureVector, FEATURE_DIM};
+pub use workload::{site_library, SiteProfile};

@@ -1,0 +1,171 @@
+//! Synthetic website/application activity profiles.
+//!
+//! §III's attack model (ii)(b): "the attacker can monitor these
+//! signals to infer how long the processor was active to process a
+//! certain task. Such information, for example, can be used for
+//! website fingerprinting (i.e., by measuring how long it takes to
+//! load a webpage, the attacker can infer which website was loaded)."
+//!
+//! A page load is a characteristic burst pattern: network/parse,
+//! layout, script execution, image decodes — each site with its own
+//! total duration and burst structure. The profiles here are
+//! synthetic but structurally distinct, which is all the attack needs.
+
+use emsc_pmu::sim::ExternalEvent;
+use emsc_pmu::trace::ActivityKind;
+use rand::Rng;
+
+/// One activity burst within a page-load profile.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProfileBurst {
+    /// Offset from the start of the load, seconds.
+    pub offset_s: f64,
+    /// Busy duration, seconds.
+    pub duration_s: f64,
+}
+
+/// A site's characteristic load profile.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SiteProfile {
+    /// Site label.
+    pub name: String,
+    /// Activity bursts of one visit.
+    pub bursts: Vec<ProfileBurst>,
+}
+
+impl SiteProfile {
+    /// Creates a profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bursts` is empty.
+    pub fn new(name: impl Into<String>, bursts: Vec<ProfileBurst>) -> Self {
+        assert!(!bursts.is_empty(), "a profile needs at least one burst");
+        SiteProfile { name: name.into(), bursts }
+    }
+
+    /// Total busy time of one visit, seconds.
+    pub fn total_active_s(&self) -> f64 {
+        self.bursts.iter().map(|b| b.duration_s).sum()
+    }
+
+    /// Time from first burst start to last burst end, seconds.
+    pub fn load_time_s(&self) -> f64 {
+        self.bursts
+            .iter()
+            .map(|b| b.offset_s + b.duration_s)
+            .fold(0.0, f64::max)
+    }
+
+    /// Renders one visit as machine events starting at `start_s`, with
+    /// multiplicative jitter on burst durations and small offset noise
+    /// (network variability).
+    pub fn visit_events<R: Rng + ?Sized>(
+        &self,
+        start_s: f64,
+        jitter: f64,
+        rng: &mut R,
+    ) -> Vec<ExternalEvent> {
+        self.bursts
+            .iter()
+            .map(|b| {
+                let dj = 1.0 + jitter * (2.0 * rng.gen::<f64>() - 1.0);
+                let oj = 1.0 + 0.5 * jitter * (2.0 * rng.gen::<f64>() - 1.0);
+                ExternalEvent {
+                    t_s: start_s + b.offset_s * oj,
+                    duration_s: (b.duration_s * dj).max(1e-3),
+                    kind: ActivityKind::Work,
+                }
+            })
+            .collect()
+    }
+}
+
+/// A small library of structurally distinct sites (news portal, video
+/// page, search box, webmail, static documentation).
+pub fn site_library() -> Vec<SiteProfile> {
+    let b = |offset_s: f64, duration_s: f64| ProfileBurst { offset_s, duration_s };
+    vec![
+        // Heavy news portal: long parse, many ad/script bursts.
+        SiteProfile::new(
+            "news-portal",
+            vec![
+                b(0.00, 0.35),
+                b(0.45, 0.20),
+                b(0.75, 0.18),
+                b(1.05, 0.22),
+                b(1.45, 0.15),
+                b(1.75, 0.12),
+            ],
+        ),
+        // Video page: medium parse then sustained decode ramp-up.
+        SiteProfile::new(
+            "video",
+            vec![b(0.00, 0.25), b(0.35, 0.55), b(1.10, 0.45)],
+        ),
+        // Search landing page: one short burst, then idle.
+        SiteProfile::new("search", vec![b(0.00, 0.12), b(0.25, 0.06)]),
+        // Webmail: moderate load, then periodic sync bursts.
+        SiteProfile::new(
+            "webmail",
+            vec![b(0.00, 0.28), b(0.50, 0.10), b(1.20, 0.10), b(1.90, 0.10)],
+        ),
+        // Static documentation: quick parse, one layout pass.
+        SiteProfile::new("docs", vec![b(0.00, 0.16), b(0.22, 0.10)]),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn library_profiles_are_distinct() {
+        let lib = site_library();
+        assert!(lib.len() >= 5);
+        for (i, a) in lib.iter().enumerate() {
+            for b in lib.iter().skip(i + 1) {
+                assert_ne!(a.name, b.name);
+                // Distinguishable by at least one gross feature.
+                let active_diff = (a.total_active_s() - b.total_active_s()).abs();
+                let count_diff = a.bursts.len().abs_diff(b.bursts.len());
+                assert!(
+                    active_diff > 0.05 || count_diff > 0,
+                    "{} and {} look identical",
+                    a.name,
+                    b.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn visits_jitter_but_preserve_structure() {
+        let lib = site_library();
+        let mut rng = StdRng::seed_from_u64(5);
+        let site = &lib[0];
+        let a = site.visit_events(1.0, 0.1, &mut rng);
+        let c = site.visit_events(1.0, 0.1, &mut rng);
+        assert_eq!(a.len(), site.bursts.len());
+        assert_ne!(a, c, "visits vary");
+        for (ev, b) in a.iter().zip(&site.bursts) {
+            assert!((ev.t_s - 1.0 - b.offset_s).abs() < 0.3);
+            assert!((ev.duration_s - b.duration_s).abs() / b.duration_s < 0.2);
+        }
+    }
+
+    #[test]
+    fn load_time_exceeds_active_time_when_bursts_are_spread() {
+        for site in site_library() {
+            assert!(site.load_time_s() >= site.total_active_s() - 1e-9, "{}", site.name);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one burst")]
+    fn empty_profile_panics() {
+        SiteProfile::new("x", Vec::new());
+    }
+}

@@ -1,0 +1,322 @@
+//! Human typist model: turning text into keystroke timings.
+//!
+//! §V-B of the paper leans on Salthouse's empirical regularities of
+//! transcription typing \[78\] and Feit et al. \[79\]:
+//!
+//! 1. keys *far apart* on the keyboard are pressed in quicker
+//!    succession than keys close together (different hands/fingers
+//!    move in parallel),
+//! 2. frequent letter pairs are typed faster than infrequent ones,
+//! 3. practice shortens inter-key intervals (e.g. the space bar after
+//!    a common word).
+//!
+//! This module implements those effects over a QWERTY geometry and
+//! produces the ground-truth keystroke stream the detector is scored
+//! against.
+
+use rand::Rng;
+
+/// A single keystroke: the paper's 3-tuple `(t_p, t_r, k)` (§V-A).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Keystroke {
+    /// Press time, seconds.
+    pub press_s: f64,
+    /// Release time, seconds.
+    pub release_s: f64,
+    /// The character produced.
+    pub key: char,
+}
+
+impl Keystroke {
+    /// Dwell time (press to release), seconds.
+    pub fn dwell_s(&self) -> f64 {
+        self.release_s - self.press_s
+    }
+}
+
+/// QWERTY key position in (row, column) units of one key pitch.
+/// Returns `None` for keys off the main block.
+pub fn qwerty_position(key: char) -> Option<(f64, f64)> {
+    let rows = ["qwertyuiop", "asdfghjkl", "zxcvbnm"];
+    let lower = key.to_ascii_lowercase();
+    for (r, row) in rows.iter().enumerate() {
+        if let Some(c) = row.find(lower) {
+            // Row stagger: each row shifts right by ~0.25/0.5 pitch.
+            let stagger = [0.0, 0.25, 0.75][r];
+            return Some((r as f64, c as f64 + stagger));
+        }
+    }
+    if lower == ' ' {
+        return Some((3.0, 4.5)); // space bar centre
+    }
+    None
+}
+
+/// Euclidean distance between two keys in key pitches (0 when either
+/// key is unknown).
+pub fn key_distance(a: char, b: char) -> f64 {
+    match (qwerty_position(a), qwerty_position(b)) {
+        (Some((r1, c1)), Some((r2, c2))) => ((r1 - r2).powi(2) + (c1 - c2).powi(2)).sqrt(),
+        _ => 0.0,
+    }
+}
+
+/// Relative frequency of an English digraph, in `[0, 1]` (1 = most
+/// common). A compact table of the most frequent digraphs; everything
+/// else gets a small floor value.
+pub fn digraph_frequency(a: char, b: char) -> f64 {
+    const COMMON: &[(&str, f64)] = &[
+        ("th", 1.00), ("he", 0.98), ("in", 0.91), ("er", 0.89), ("an", 0.82),
+        ("re", 0.72), ("nd", 0.62), ("on", 0.57), ("en", 0.55), ("at", 0.53),
+        ("ou", 0.52), ("ed", 0.50), ("ha", 0.49), ("to", 0.46), ("or", 0.45),
+        ("it", 0.43), ("is", 0.42), ("hi", 0.41), ("es", 0.41), ("ng", 0.38),
+        ("ar", 0.36), ("se", 0.34), ("st", 0.34), ("te", 0.33), ("me", 0.31),
+        ("ea", 0.30), ("ne", 0.28), ("we", 0.27), ("ll", 0.26), ("le", 0.26),
+    ];
+    let pair: String = [a.to_ascii_lowercase(), b.to_ascii_lowercase()].iter().collect();
+    COMMON
+        .iter()
+        .find(|(d, _)| **d == pair)
+        .map(|&(_, f)| f)
+        .unwrap_or(0.05)
+}
+
+/// Typist skill/timing parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TypistConfig {
+    /// Baseline inter-key interval, seconds (~60 wpm ≈ 0.2 s).
+    pub base_interval_s: f64,
+    /// Interval reduction per key-pitch of distance (effect 1:
+    /// far-apart keys come *faster*).
+    pub distance_gain_s: f64,
+    /// Interval reduction scale for frequent digraphs (effect 2).
+    pub digraph_gain_s: f64,
+    /// Interval reduction for the space bar after a word (effect 3,
+    /// practice: spaces are the most practised keystroke).
+    pub practice_gain_s: f64,
+    /// Extra pause before the first key of a new word (readers of the
+    /// source text chunk by word; visible as the word gaps in
+    /// Fig. 11).
+    pub word_pause_s: f64,
+    /// Mean key dwell (press → release), seconds.
+    pub dwell_s: f64,
+    /// Log-normal-ish multiplicative jitter spread (0.2 = ±20 %).
+    pub jitter: f64,
+}
+
+impl TypistConfig {
+    /// An average touch typist (~55–65 wpm).
+    pub fn average() -> Self {
+        TypistConfig {
+            base_interval_s: 0.21,
+            distance_gain_s: 0.010,
+            digraph_gain_s: 0.06,
+            practice_gain_s: 0.04,
+            word_pause_s: 0.24,
+            dwell_s: 0.085,
+            jitter: 0.18,
+        }
+    }
+
+    /// A skilled touch typist (~90 wpm): shorter intervals, stronger
+    /// digraph anticipation, less jitter.
+    pub fn professional() -> Self {
+        TypistConfig {
+            base_interval_s: 0.135,
+            distance_gain_s: 0.008,
+            digraph_gain_s: 0.045,
+            practice_gain_s: 0.03,
+            word_pause_s: 0.13,
+            dwell_s: 0.06,
+            jitter: 0.12,
+        }
+    }
+
+    /// A hunt-and-peck typist (~25 wpm): long, variable intervals and
+    /// big word pauses while searching for keys.
+    pub fn hunt_and_peck() -> Self {
+        TypistConfig {
+            base_interval_s: 0.45,
+            distance_gain_s: 0.000,
+            digraph_gain_s: 0.03,
+            practice_gain_s: 0.02,
+            word_pause_s: 0.5,
+            dwell_s: 0.11,
+            jitter: 0.35,
+        }
+    }
+}
+
+/// The typist: converts text into a keystroke stream.
+#[derive(Debug, Clone)]
+pub struct Typist {
+    config: TypistConfig,
+}
+
+impl Typist {
+    /// Creates a typist.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the base interval or dwell is not positive.
+    pub fn new(config: TypistConfig) -> Self {
+        assert!(config.base_interval_s > 0.0, "base interval must be positive");
+        assert!(config.dwell_s > 0.0, "dwell must be positive");
+        Typist { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &TypistConfig {
+        &self.config
+    }
+
+    /// Mean inter-key interval before the key `b`, following `a`.
+    pub fn mean_interval_s(&self, a: char, b: char) -> f64 {
+        let c = &self.config;
+        let mut interval = c.base_interval_s;
+        interval -= c.distance_gain_s * key_distance(a, b).min(10.0);
+        interval -= c.digraph_gain_s * digraph_frequency(a, b);
+        if b == ' ' {
+            interval -= c.practice_gain_s;
+        }
+        if a == ' ' {
+            interval += c.word_pause_s;
+        }
+        interval.max(0.05)
+    }
+
+    /// Types `text`, returning the keystroke stream starting at
+    /// `start_s` seconds. Deterministic for a given RNG state.
+    pub fn type_text<R: Rng + ?Sized>(&self, text: &str, start_s: f64, rng: &mut R) -> Vec<Keystroke> {
+        let c = &self.config;
+        let mut out = Vec::with_capacity(text.len());
+        let mut t = start_s;
+        let mut prev: Option<char> = None;
+        for key in text.chars() {
+            if let Some(p) = prev {
+                let mean = self.mean_interval_s(p, key);
+                let jitter = 1.0 + c.jitter * (2.0 * rng.gen::<f64>() - 1.0);
+                t += mean * jitter;
+            }
+            let dwell = c.dwell_s * (1.0 + c.jitter * (2.0 * rng.gen::<f64>() - 1.0));
+            out.push(Keystroke { press_s: t, release_s: t + dwell, key });
+            prev = Some(key);
+        }
+        out
+    }
+}
+
+impl Default for Typist {
+    fn default() -> Self {
+        Typist::new(TypistConfig::average())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(1234)
+    }
+
+    #[test]
+    fn qwerty_geometry_is_sane() {
+        assert!(key_distance('a', 's') < key_distance('a', 'l'));
+        assert!(key_distance('q', 'p') > 8.0);
+        assert_eq!(key_distance('a', '!'), 0.0); // unknown key
+        // same key = zero distance
+        assert!(key_distance('f', 'f') < 1e-12);
+    }
+
+    #[test]
+    fn far_keys_are_typed_faster_than_near_keys() {
+        // Salthouse effect 1.
+        let t = Typist::default();
+        // 'a'→'p' spans the keyboard; 'd'→'f' are adjacent. Use pairs
+        // with equal digraph frequency (both rare) to isolate distance.
+        assert!(t.mean_interval_s('a', 'p') < t.mean_interval_s('d', 'f'));
+    }
+
+    #[test]
+    fn frequent_digraphs_are_typed_faster() {
+        // Salthouse effect 2: 'th' is the most common digraph; 'tq' is
+        // about as rare as it gets, at comparable distance.
+        let t = Typist::default();
+        assert!(t.mean_interval_s('t', 'h') < t.mean_interval_s('t', 'q'));
+    }
+
+    #[test]
+    fn space_is_faster_than_comparable_letters() {
+        // Salthouse effect 3 (practice).
+        let t = Typist::default();
+        let with_space = t.mean_interval_s('n', ' ');
+        let without = t.mean_interval_s('n', 'b');
+        assert!(with_space < without);
+    }
+
+    #[test]
+    fn typed_text_is_ordered_and_keys_match() {
+        let t = Typist::default();
+        let text = "can you hear me";
+        let keys = t.type_text(text, 1.0, &mut rng());
+        assert_eq!(keys.len(), text.chars().count());
+        assert_eq!(keys[0].press_s, 1.0);
+        for w in keys.windows(2) {
+            assert!(w[0].press_s < w[1].press_s);
+        }
+        let typed: String = keys.iter().map(|k| k.key).collect();
+        assert_eq!(typed, text);
+        for k in &keys {
+            assert!(k.dwell_s() > 0.03 && k.dwell_s() < 0.2);
+        }
+    }
+
+    #[test]
+    fn word_boundaries_have_a_pause() {
+        let t = Typist::default();
+        // Gap into a word-initial key exceeds a within-word gap.
+        assert!(t.mean_interval_s(' ', 'h') > 1.4 * t.mean_interval_s('e', 'h'));
+    }
+
+    #[test]
+    fn typing_rate_is_realistic() {
+        // An average typist does ~4–7 keys/second.
+        let t = Typist::default();
+        let text = "the quick brown fox jumps over the lazy dog and keeps typing more text";
+        let keys = t.type_text(text, 0.0, &mut rng());
+        let span = keys.last().unwrap().press_s - keys[0].press_s;
+        let rate = (keys.len() - 1) as f64 / span;
+        assert!((3.0..9.0).contains(&rate), "rate {rate} keys/s");
+    }
+
+    #[test]
+    fn skill_presets_order_by_speed() {
+        let text = "ordering of typing speeds over a sentence";
+        let mut rng = rng();
+        let mut dur = |cfg: TypistConfig| {
+            let keys = Typist::new(cfg).type_text(text, 0.0, &mut rng);
+            keys.last().unwrap().press_s
+        };
+        let pro = dur(TypistConfig::professional());
+        let avg = dur(TypistConfig::average());
+        let hp = dur(TypistConfig::hunt_and_peck());
+        assert!(pro < avg && avg < hp, "pro {pro}, avg {avg}, h&p {hp}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let t = Typist::default();
+        let a = t.type_text("hello world", 0.0, &mut rng());
+        let b = t.type_text("hello world", 0.0, &mut rng());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "base interval")]
+    fn invalid_config_panics() {
+        Typist::new(TypistConfig { base_interval_s: 0.0, ..TypistConfig::average() });
+    }
+}

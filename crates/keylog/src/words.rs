@@ -1,0 +1,197 @@
+//! Word reconstruction from detected keystroke times.
+//!
+//! §V-C, "Word Detection": once keystrokes are detected, "relatively
+//! close spikes" are grouped into words (following Berger et al.'s
+//! dictionary-attack preprocessing \[75\]). The space bar is itself a
+//! keystroke — and, per Salthouse's practice effect, it follows the
+//! preceding word *quickly* — so each detected group typically carries
+//! the trailing space with it. Word length is estimated as the group
+//! size minus that trailing space.
+
+/// Groups detected keystroke times into words.
+///
+/// A word boundary is declared wherever the inter-keystroke gap
+/// exceeds `gap_factor ×` the median gap. Returns the groups as
+/// vectors of keystroke times.
+pub fn group_words(times: &[f64], gap_factor: f64) -> Vec<Vec<f64>> {
+    if times.is_empty() {
+        return Vec::new();
+    }
+    if times.len() == 1 {
+        return vec![times.to_vec()];
+    }
+    let mut gaps: Vec<f64> = times.windows(2).map(|w| w[1] - w[0]).collect();
+    gaps.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let median_gap = gaps[gaps.len() / 2];
+    let threshold = gap_factor * median_gap;
+    let mut words = Vec::new();
+    let mut current = vec![times[0]];
+    for w in times.windows(2) {
+        if w[1] - w[0] > threshold {
+            words.push(std::mem::take(&mut current));
+        }
+        current.push(w[1]);
+    }
+    words.push(current);
+    words
+}
+
+/// Estimated word lengths from keystroke groups: every group except
+/// the last is assumed to include its trailing space keystroke.
+pub fn word_lengths(groups: &[Vec<f64>]) -> Vec<usize> {
+    let n = groups.len();
+    groups
+        .iter()
+        .enumerate()
+        .map(|(i, g)| {
+            if i + 1 < n && g.len() > 1 {
+                g.len() - 1
+            } else {
+                g.len()
+            }
+        })
+        .collect()
+}
+
+/// Word-level accuracy (Table IV, word columns).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WordScore {
+    /// Predicted words whose length matched the true word at the same
+    /// position.
+    pub correct: usize,
+    /// Total predicted words.
+    pub predicted: usize,
+    /// Total true words.
+    pub actual: usize,
+}
+
+impl WordScore {
+    /// Precision: correctly-lengthed words among retrieved words.
+    pub fn precision(&self) -> f64 {
+        if self.predicted == 0 {
+            0.0
+        } else {
+            self.correct as f64 / self.predicted as f64
+        }
+    }
+
+    /// Recall: retrieved words over total existing words.
+    pub fn recall(&self) -> f64 {
+        if self.actual == 0 {
+            0.0
+        } else {
+            self.predicted.min(self.actual) as f64 / self.actual as f64
+        }
+    }
+}
+
+/// Scores predicted word lengths against the true text's words.
+///
+/// The two sequences are aligned with an edit-distance alignment
+/// before counting, so one wrong boundary costs one word rather than
+/// positionally shifting (and thus failing) every word after it.
+pub fn score_words(predicted_lengths: &[usize], text: &str) -> WordScore {
+    let true_lengths: Vec<usize> = text.split_whitespace().map(|w| w.chars().count()).collect();
+    let correct = aligned_matches(predicted_lengths, &true_lengths);
+    WordScore {
+        correct,
+        predicted: predicted_lengths.len(),
+        actual: true_lengths.len(),
+    }
+}
+
+/// Number of equal-value pairs in an optimal (unit-cost) alignment of
+/// two sequences — i.e. the longest common subsequence restricted to
+/// near-diagonal pairings.
+fn aligned_matches(a: &[usize], b: &[usize]) -> usize {
+    let n = a.len();
+    let m = b.len();
+    if n == 0 || m == 0 {
+        return 0;
+    }
+    // dp[i][j] = max matches aligning a[..i] with b[..j]
+    let mut dp = vec![0usize; (n + 1) * (m + 1)];
+    let idx = |i: usize, j: usize| i * (m + 1) + j;
+    for i in 1..=n {
+        for j in 1..=m {
+            let diag = dp[idx(i - 1, j - 1)] + usize::from(a[i - 1] == b[j - 1]);
+            dp[idx(i, j)] = diag.max(dp[idx(i - 1, j)]).max(dp[idx(i, j - 1)]);
+        }
+    }
+    dp[idx(n, m)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Keystroke times mimicking "can you": intra-word gaps ~0.15 s,
+    /// space attached quickly, then a ~0.5 s pause before the next word.
+    fn two_word_times() -> Vec<f64> {
+        vec![
+            0.00, 0.15, 0.30, 0.42, // c a n ␣
+            0.95, 1.10, 1.25, 1.37, // y o u ␣
+            1.90, 2.05, // m e (no trailing space)
+        ]
+    }
+
+    #[test]
+    fn groups_split_on_long_gaps() {
+        let groups = group_words(&two_word_times(), 2.0);
+        assert_eq!(groups.len(), 3);
+        assert_eq!(groups[0].len(), 4);
+        assert_eq!(groups[1].len(), 4);
+        assert_eq!(groups[2].len(), 2);
+    }
+
+    #[test]
+    fn lengths_strip_trailing_space() {
+        let groups = group_words(&two_word_times(), 2.0);
+        assert_eq!(word_lengths(&groups), vec![3, 3, 2]);
+    }
+
+    #[test]
+    fn scoring_matches_by_position() {
+        let score = score_words(&[3, 3, 2], "can you me");
+        assert_eq!(score.correct, 3);
+        assert!((score.precision() - 1.0).abs() < 1e-12);
+        assert!((score.recall() - 1.0).abs() < 1e-12);
+
+        let imperfect = score_words(&[3, 4, 2], "can you me");
+        assert_eq!(imperfect.correct, 2);
+        assert!((imperfect.precision() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn one_bad_boundary_costs_one_word_not_all() {
+        // Predicted merges the 2nd and 3rd words ("you" + "hear" → 7):
+        // alignment still credits the surrounding words.
+        let score = score_words(&[3, 7, 2], "can you hear me");
+        assert_eq!(score.correct, 2, "can and me still count");
+    }
+
+    #[test]
+    fn missing_words_lower_recall() {
+        let score = score_words(&[3, 3], "can you hear me");
+        assert_eq!(score.actual, 4);
+        assert!((score.recall() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(group_words(&[], 2.0).is_empty());
+        assert_eq!(group_words(&[1.0], 2.0), vec![vec![1.0]]);
+        assert_eq!(word_lengths(&[vec![1.0]]), vec![1]);
+        let empty = score_words(&[], "");
+        assert_eq!(empty.precision(), 0.0);
+        assert_eq!(empty.recall(), 0.0);
+    }
+
+    #[test]
+    fn uniform_typing_is_one_word() {
+        let times: Vec<f64> = (0..10).map(|i| i as f64 * 0.2).collect();
+        let groups = group_words(&times, 2.0);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(word_lengths(&groups), vec![10]);
+    }
+}

@@ -1,0 +1,378 @@
+//! Power-state governors: who decides which P-/C-state to use, when.
+//!
+//! Up to Haswell/Broadwell the OS writes the desired P-state into a
+//! model-specific register; from Skylake on, *Speed Shift* (HWP) lets
+//! the hardware pick P-states autonomously and much faster (§II).
+//! C-states are chosen by an OS idle governor (Linux's "menu"
+//! governor) from the predicted idle interval. Both can be disabled in
+//! BIOS — the countermeasure experiment of §III.
+
+use crate::power::{CState, PState, PowerStateTable};
+
+/// Who controls P-state selection, and how quickly it reacts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum PStateMode {
+    /// Hardware-controlled P-states (Intel Speed Shift / HWP,
+    /// Skylake+): sub-millisecond ramp to full speed.
+    SpeedShift {
+        /// Time from waking to reaching P0, seconds.
+        ramp_s: f64,
+    },
+    /// OS-driven DVFS (pre-Skylake): reacts at the governor's sampling
+    /// period, so short bursts may run entirely at a low P-state.
+    OsDriven {
+        /// Governor sampling/ramp period, seconds.
+        ramp_s: f64,
+    },
+    /// Pinned to one P-state (e.g. via `cpufrequtils`, §II).
+    Fixed(u8),
+}
+
+impl PStateMode {
+    /// Default Speed-Shift behaviour (post-Skylake parts).
+    pub fn speed_shift() -> Self {
+        PStateMode::SpeedShift { ramp_s: 0.3e-3 }
+    }
+
+    /// Default OS-driven behaviour (pre-Skylake parts).
+    pub fn os_driven() -> Self {
+        PStateMode::OsDriven { ramp_s: 4e-3 }
+    }
+
+    /// Busy time needed to ramp from the deepest P-state to P0.
+    pub fn ramp_s(self) -> f64 {
+        match self {
+            PStateMode::SpeedShift { ramp_s } | PStateMode::OsDriven { ramp_s } => ramp_s,
+            PStateMode::Fixed(_) => 0.0,
+        }
+    }
+
+    /// Idle time over which the governor's utilisation estimate —
+    /// and with it the selected P-state — decays back to the deepest
+    /// state. Periodic duty-cycle workloads (like the covert
+    /// transmitter alternating ~100 µs busy/idle) therefore *hold*
+    /// a high P-state across their short sleeps, which is what real
+    /// HWP/ondemand governors do.
+    pub fn decay_s(self) -> f64 {
+        match self {
+            PStateMode::SpeedShift { .. } => 5e-3,
+            // ondemand-style governors keep their utilisation estimate
+            // across many sampling periods, so the estimate decays far
+            // more slowly than HWP reacts.
+            PStateMode::OsDriven { .. } => 100e-3,
+            PStateMode::Fixed(_) => f64::INFINITY,
+        }
+    }
+}
+
+/// DVFS (P-state) policy, including the BIOS enable switch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct DvfsPolicy {
+    /// BIOS switch: `false` forces nominal voltage/frequency (P0)
+    /// always, as in the §III experiment.
+    pub enabled: bool,
+    /// Selection mode when enabled.
+    pub mode: PStateMode,
+}
+
+impl DvfsPolicy {
+    /// Enabled, hardware-controlled policy.
+    pub fn speed_shift() -> Self {
+        DvfsPolicy { enabled: true, mode: PStateMode::speed_shift() }
+    }
+
+    /// Enabled, OS-controlled policy.
+    pub fn os_driven() -> Self {
+        DvfsPolicy { enabled: true, mode: PStateMode::os_driven() }
+    }
+
+    /// P-states disabled in BIOS: the core always runs at P0.
+    pub fn disabled() -> Self {
+        DvfsPolicy { enabled: false, mode: PStateMode::Fixed(0) }
+    }
+
+    /// Plans a *cold-start* work burst of `duration_s` seconds as a
+    /// sequence of `(sub-duration, P-state)` phases: a ramp phase at
+    /// the deepest P-state followed by the rest at P0 (or all-P0 /
+    /// all-fixed when the mode dictates). The simulator uses the
+    /// stateful [`GovernorState`] instead, which carries ramp progress
+    /// across bursts; this method describes the first burst after a
+    /// long idle.
+    pub fn plan_burst(&self, duration_s: f64, table: &PowerStateTable) -> Vec<(f64, PState)> {
+        if duration_s <= 0.0 {
+            return Vec::new();
+        }
+        if !self.enabled {
+            return vec![(duration_s, table.p0())];
+        }
+        match self.mode {
+            PStateMode::Fixed(i) => {
+                let p = table
+                    .pstates
+                    .get(i as usize)
+                    .copied()
+                    .unwrap_or_else(|| table.deepest_pstate());
+                vec![(duration_s, p)]
+            }
+            PStateMode::SpeedShift { ramp_s } | PStateMode::OsDriven { ramp_s } => {
+                let ramp = ramp_s.min(duration_s);
+                let mut plan = vec![(ramp, table.deepest_pstate())];
+                if duration_s > ramp {
+                    plan.push((duration_s - ramp, table.p0()));
+                }
+                plan
+            }
+        }
+    }
+}
+
+/// Running state of the DVFS governor: where in the ramp the core
+/// currently sits. `level` = 0 means the deepest P-state, 1 means P0.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GovernorState {
+    /// Current ramp level in `[0, 1]`.
+    pub level: f64,
+}
+
+impl GovernorState {
+    /// Cold state: deepest P-state.
+    pub fn cold() -> Self {
+        GovernorState { level: 0.0 }
+    }
+
+    /// Decays the level after `idle_s` seconds of idleness under the
+    /// given policy.
+    pub fn idle(&mut self, policy: &DvfsPolicy, idle_s: f64) {
+        if !policy.enabled {
+            self.level = 1.0;
+            return;
+        }
+        let decay = policy.mode.decay_s();
+        if decay.is_finite() && decay > 0.0 {
+            self.level = (self.level - idle_s / decay).max(0.0);
+        }
+    }
+
+    /// Plans a busy burst of `duration_s` seconds starting at the
+    /// current level, advancing the level, and returning
+    /// `(sub-duration, P-state)` phases. At most two phases: the
+    /// remaining ramp (at the P-state of the ramp midpoint) and the
+    /// rest at P0.
+    pub fn busy(
+        &mut self,
+        policy: &DvfsPolicy,
+        table: &PowerStateTable,
+        duration_s: f64,
+    ) -> Vec<(f64, PState)> {
+        if duration_s <= 0.0 {
+            return Vec::new();
+        }
+        if !policy.enabled {
+            self.level = 1.0;
+            return vec![(duration_s, table.p0())];
+        }
+        if let PStateMode::Fixed(i) = policy.mode {
+            let p = table
+                .pstates
+                .get(i as usize)
+                .copied()
+                .unwrap_or_else(|| table.deepest_pstate());
+            return vec![(duration_s, p)];
+        }
+        let ramp = policy.mode.ramp_s();
+        let remaining_ramp_s = (1.0 - self.level) * ramp;
+        if duration_s >= remaining_ramp_s {
+            let mut plan = Vec::with_capacity(2);
+            if remaining_ramp_s > 0.0 {
+                let mid = (self.level + 1.0) / 2.0;
+                plan.push((remaining_ramp_s, pstate_for_level(table, mid)));
+            }
+            plan.push((duration_s - remaining_ramp_s, table.p0()));
+            self.level = 1.0;
+            plan
+        } else {
+            let end = self.level + duration_s / ramp;
+            let mid = (self.level + end) / 2.0;
+            self.level = end;
+            vec![(duration_s, pstate_for_level(table, mid))]
+        }
+    }
+}
+
+/// The P-state corresponding to a ramp level (0 = deepest, 1 = P0).
+fn pstate_for_level(table: &PowerStateTable, level: f64) -> PState {
+    let n = table.pstates.len();
+    let idx = ((1.0 - level.clamp(0.0, 1.0)) * (n - 1) as f64).round() as usize;
+    table.pstates[idx.min(n - 1)]
+}
+
+/// C-state (idle) policy, including the BIOS enable switch and a
+/// depth cap.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct CStatePolicy {
+    /// BIOS switch: `false` means idling spins in C0 (the OS "idle"
+    /// process of §III footnote 2).
+    pub enabled: bool,
+    /// Deepest C-state index the OS may request.
+    pub max_index: u8,
+}
+
+impl CStatePolicy {
+    /// All C-states available (the common default).
+    pub fn all() -> Self {
+        CStatePolicy { enabled: true, max_index: u8::MAX }
+    }
+
+    /// C-states disabled in BIOS.
+    pub fn disabled() -> Self {
+        CStatePolicy { enabled: false, max_index: 0 }
+    }
+
+    /// Menu-governor selection: the deepest permitted state whose
+    /// target residency fits the expected idle interval and whose exit
+    /// latency is small relative to it. Returns `None` when C-states
+    /// are disabled (caller spins instead).
+    pub fn select(&self, table: &PowerStateTable, expected_idle_s: f64) -> Option<CState> {
+        if !self.enabled {
+            return None;
+        }
+        let mut chosen = table.cstates[0];
+        for &c in &table.cstates {
+            let fits_residency = c.target_residency_s <= expected_idle_s;
+            let fits_latency = 2.0 * c.exit_latency_s <= expected_idle_s;
+            if c.index <= self.max_index && fits_residency && fits_latency {
+                chosen = c;
+            }
+        }
+        Some(chosen)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> PowerStateTable {
+        PowerStateTable::intel_mobile()
+    }
+
+    #[test]
+    fn disabled_dvfs_runs_everything_at_p0() {
+        let plan = DvfsPolicy::disabled().plan_burst(10e-3, &table());
+        assert_eq!(plan.len(), 1);
+        assert_eq!(plan[0].1.index, 0);
+        assert_eq!(plan[0].0, 10e-3);
+    }
+
+    #[test]
+    fn speed_shift_ramps_then_runs_at_p0() {
+        let plan = DvfsPolicy::speed_shift().plan_burst(10e-3, &table());
+        assert_eq!(plan.len(), 2);
+        assert_eq!(plan[0].1.index, table().deepest_pstate().index);
+        assert!((plan[0].0 - 0.3e-3).abs() < 1e-12);
+        assert_eq!(plan[1].1.index, 0);
+        assert!((plan[0].0 + plan[1].0 - 10e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn short_bursts_never_reach_p0_under_os_dvfs() {
+        let plan = DvfsPolicy::os_driven().plan_burst(1e-3, &table());
+        assert_eq!(plan.len(), 1);
+        assert_eq!(plan[0].1.index, table().deepest_pstate().index);
+    }
+
+    #[test]
+    fn speed_shift_reacts_faster_than_os_driven() {
+        let d = 2e-3;
+        let ss = DvfsPolicy::speed_shift().plan_burst(d, &table());
+        let os = DvfsPolicy::os_driven().plan_burst(d, &table());
+        let p0_time = |plan: &[(f64, PState)]| {
+            plan.iter().filter(|(_, p)| p.index == 0).map(|(t, _)| *t).sum::<f64>()
+        };
+        assert!(p0_time(&ss) > p0_time(&os));
+    }
+
+    #[test]
+    fn fixed_mode_pins_the_pstate() {
+        let policy = DvfsPolicy { enabled: true, mode: PStateMode::Fixed(3) };
+        let plan = policy.plan_burst(5e-3, &table());
+        assert_eq!(plan.len(), 1);
+        assert_eq!(plan[0].1.index, 3);
+    }
+
+    #[test]
+    fn empty_plan_for_zero_duration() {
+        assert!(DvfsPolicy::speed_shift().plan_burst(0.0, &table()).is_empty());
+    }
+
+    #[test]
+    fn governor_state_holds_pstate_across_short_idles() {
+        let policy = DvfsPolicy::speed_shift();
+        let t = table();
+        let mut g = GovernorState::cold();
+        // Warm up: a long burst reaches P0.
+        g.busy(&policy, &t, 2e-3);
+        assert!((g.level - 1.0).abs() < 1e-12);
+        // 100 µs of idle barely dents the level...
+        g.idle(&policy, 100e-6);
+        assert!(g.level > 0.95, "level {}", g.level);
+        // ...so the next short burst runs at P0 throughout.
+        let plan = g.busy(&policy, &t, 100e-6);
+        assert_eq!(plan.last().unwrap().1.index, 0);
+        // A long idle decays back to cold.
+        g.idle(&policy, 1.0);
+        assert_eq!(g.level, 0.0);
+    }
+
+    #[test]
+    fn governor_state_ramps_cumulatively() {
+        let policy = DvfsPolicy::speed_shift();
+        let t = table();
+        let mut g = GovernorState::cold();
+        // Two 100 µs bursts with negligible idle between them make
+        // more ramp progress than one.
+        let p1 = g.busy(&policy, &t, 100e-6);
+        g.idle(&policy, 10e-6);
+        let p2 = g.busy(&policy, &t, 100e-6);
+        let i1 = p1.last().unwrap().1.index;
+        let i2 = p2.last().unwrap().1.index;
+        assert!(i2 < i1, "second burst should be faster: {i1} then {i2}");
+    }
+
+    #[test]
+    fn menu_governor_deepens_with_idle_time() {
+        let p = CStatePolicy::all();
+        let t = table();
+        let c_short = p.select(&t, 5e-6).unwrap();
+        let c_mid = p.select(&t, 150e-6).unwrap();
+        let c_long = p.select(&t, 5e-3).unwrap();
+        assert!(c_short.index < c_mid.index);
+        assert!(c_mid.index < c_long.index);
+        assert_eq!(c_long.index, 7);
+    }
+
+    #[test]
+    fn latency_constraint_prevents_deep_states_for_short_idles() {
+        let p = CStatePolicy::all();
+        let t = table();
+        // 300 µs fits C6 residency (300 µs) but 2·85 µs latency also fits;
+        // 170 µs fits C3 residency but not C6 latency comfortably.
+        let c = p.select(&t, 170e-6).unwrap();
+        assert_eq!(c.index, 3);
+    }
+
+    #[test]
+    fn max_index_caps_depth() {
+        let p = CStatePolicy { enabled: true, max_index: 2 };
+        let c = p.select(&table(), 1.0).unwrap();
+        assert_eq!(c.index, 2);
+    }
+
+    #[test]
+    fn disabled_cstates_select_none() {
+        assert_eq!(CStatePolicy::disabled().select(&table(), 1.0), None);
+    }
+}

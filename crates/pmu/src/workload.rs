@@ -1,0 +1,182 @@
+//! Program models: the workloads whose execution modulates the
+//! processor's power states.
+//!
+//! The paper drives the side channel with tiny user-level programs
+//! (Fig. 1 and Fig. 3): an infinite loop alternating a busy spin with
+//! a `usleep`. A [`Program`] is a finite sequence of [`Op`]s; the
+//! simulator executes them against its timing and power-state models.
+
+/// One operation of a simulated user-level program.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Op {
+    /// Spin executing `iterations` simple ALU iterations (Fig. 1
+    /// lines 5–6: `dummy1 += dummy1 + i`).
+    Busy {
+        /// Loop iterations to execute.
+        iterations: u64,
+    },
+    /// Request an OS sleep (`usleep`/`Sleep`) of the given duration.
+    Sleep {
+        /// Requested sleep time, seconds.
+        duration_s: f64,
+    },
+}
+
+/// A finite straight-line program (loops are unrolled at build time).
+///
+/// # Examples
+///
+/// Building the paper's Fig. 1 micro-benchmark — alternate busy/idle
+/// phases of 5 ms each, 100 times, on a machine executing 3 × 10⁹
+/// iterations per second:
+///
+/// ```
+/// use emsc_pmu::workload::Program;
+/// let p = Program::alternating(5e-3, 5e-3, 100, 3.0e9);
+/// assert_eq!(p.ops().len(), 200);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Program {
+    ops: Vec<Op>,
+}
+
+impl Program {
+    /// Creates an empty program.
+    pub fn new() -> Self {
+        Program::default()
+    }
+
+    /// Appends a busy spin of `iterations` loop iterations.
+    pub fn busy(&mut self, iterations: u64) -> &mut Self {
+        self.ops.push(Op::Busy { iterations });
+        self
+    }
+
+    /// Appends a busy spin lasting roughly `duration_s` seconds on a
+    /// machine that retires `iterations_per_second` loop iterations
+    /// per second at its nominal P-state.
+    pub fn busy_for(&mut self, duration_s: f64, iterations_per_second: f64) -> &mut Self {
+        self.busy((duration_s * iterations_per_second).round().max(0.0) as u64)
+    }
+
+    /// Appends an OS sleep request.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `duration_s` is negative.
+    pub fn sleep(&mut self, duration_s: f64) -> &mut Self {
+        assert!(duration_s >= 0.0, "sleep duration must be non-negative");
+        self.ops.push(Op::Sleep { duration_s });
+        self
+    }
+
+    /// The operations in execution order.
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// The Fig. 1 micro-benchmark: `reps` repetitions of
+    /// (busy `t_active_s`, sleep `t_idle_s`).
+    pub fn alternating(t_active_s: f64, t_idle_s: f64, reps: usize, ips: f64) -> Self {
+        let mut p = Program::new();
+        for _ in 0..reps {
+            p.busy_for(t_active_s, ips).sleep(t_idle_s);
+        }
+        p
+    }
+
+    /// A program that only sleeps, in chunks — the "machine is idle"
+    /// baseline used by the keylogging evaluation.
+    pub fn idle(total_s: f64, chunk_s: f64) -> Self {
+        let mut p = Program::new();
+        let mut remaining = total_s;
+        // Ignore sub-nanosecond floating-point residue so the final
+        // chunk doesn't become a degenerate sleep request.
+        while remaining > 1e-9 {
+            let d = remaining.min(chunk_s);
+            p.sleep(d);
+            remaining -= d;
+        }
+        p
+    }
+
+    /// Rough lower bound on the program's runtime (ignores overheads
+    /// and jitter), for sizing capture buffers.
+    pub fn nominal_duration_s(&self, ips: f64) -> f64 {
+        self.ops
+            .iter()
+            .map(|op| match *op {
+                Op::Busy { iterations } => iterations as f64 / ips,
+                Op::Sleep { duration_s } => duration_s,
+            })
+            .sum()
+    }
+}
+
+impl Extend<Op> for Program {
+    fn extend<T: IntoIterator<Item = Op>>(&mut self, iter: T) {
+        self.ops.extend(iter);
+    }
+}
+
+impl FromIterator<Op> for Program {
+    fn from_iter<T: IntoIterator<Item = Op>>(iter: T) -> Self {
+        Program { ops: iter.into_iter().collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_appends_in_order() {
+        let mut p = Program::new();
+        p.busy(100).sleep(1e-3).busy(50);
+        assert_eq!(
+            p.ops(),
+            &[
+                Op::Busy { iterations: 100 },
+                Op::Sleep { duration_s: 1e-3 },
+                Op::Busy { iterations: 50 },
+            ]
+        );
+    }
+
+    #[test]
+    fn busy_for_converts_time_to_iterations() {
+        let mut p = Program::new();
+        p.busy_for(2e-3, 1e9);
+        assert_eq!(p.ops(), &[Op::Busy { iterations: 2_000_000 }]);
+    }
+
+    #[test]
+    fn alternating_micro_benchmark_shape() {
+        let p = Program::alternating(1e-3, 2e-3, 3, 1e9);
+        assert_eq!(p.ops().len(), 6);
+        assert!(matches!(p.ops()[0], Op::Busy { .. }));
+        assert!(matches!(p.ops()[1], Op::Sleep { duration_s } if duration_s == 2e-3));
+        let nominal = p.nominal_duration_s(1e9);
+        assert!((nominal - 9e-3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn idle_program_covers_duration() {
+        let p = Program::idle(0.95, 0.25);
+        assert_eq!(p.ops().len(), 4); // 0.25 ×3 + 0.2 (residue dropped)
+        assert!((p.nominal_duration_s(1e9) - 0.95).abs() < 1e-12);
+    }
+
+    #[test]
+    fn collects_from_iterator() {
+        let ops = vec![Op::Busy { iterations: 1 }, Op::Sleep { duration_s: 0.5 }];
+        let p: Program = ops.clone().into_iter().collect();
+        assert_eq!(p.ops(), ops.as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_sleep_panics() {
+        Program::new().sleep(-0.5);
+    }
+}

@@ -1,0 +1,274 @@
+//! Real-valued DSP helpers: convolution, smoothing, peak detection.
+//!
+//! These are the building blocks of the paper's receiver: the edge
+//! detector (§IV-B2) convolves the energy signal with a `[+1 … +1,
+//! −1 … −1]` kernel to mimic a derivative, then takes local maxima of
+//! the result as bit-start points.
+
+/// Full linear convolution of `signal` with `kernel`
+/// (output length `signal.len() + kernel.len() - 1`).
+pub fn convolve_full(signal: &[f64], kernel: &[f64]) -> Vec<f64> {
+    if signal.is_empty() || kernel.is_empty() {
+        return Vec::new();
+    }
+    let n = signal.len() + kernel.len() - 1;
+    let mut out = vec![0.0; n];
+    for (i, &s) in signal.iter().enumerate() {
+        for (j, &k) in kernel.iter().enumerate() {
+            out[i + j] += s * k;
+        }
+    }
+    out
+}
+
+/// "Same"-size convolution: the centre `signal.len()` samples of the
+/// full convolution, so output index `i` aligns with input index `i`.
+pub fn convolve_same(signal: &[f64], kernel: &[f64]) -> Vec<f64> {
+    if signal.is_empty() || kernel.is_empty() {
+        return vec![0.0; signal.len()];
+    }
+    let full = convolve_full(signal, kernel);
+    let start = (kernel.len() - 1) / 2;
+    full[start..start + signal.len()].to_vec()
+}
+
+/// The paper's derivative-mimicking kernel: `l/2` ones followed by
+/// `l/2` minus-ones. Convolving with it produces a peak wherever the
+/// signal steps upward (the start-of-bit edge).
+///
+/// Note on orientation: convolution flips the kernel, so to score
+/// "recent samples high, older samples low" (a rising edge) the
+/// *leading* half holds `+1`.
+///
+/// # Panics
+///
+/// Panics if `l` is zero or odd.
+pub fn edge_kernel(l: usize) -> Vec<f64> {
+    assert!(l > 0 && l.is_multiple_of(2), "edge kernel length must be positive and even");
+    let mut k = vec![1.0; l];
+    for v in k.iter_mut().take(l / 2) {
+        *v = -1.0;
+    }
+    // After convolution's flip, the -1 half applies to newer samples'
+    // past and +1 to the recent rise. We build [-1…,+1…] so that the
+    // flipped kernel is [+1…,-1…] over (past → present).
+    k.reverse();
+    k
+}
+
+/// Simple moving average over a centred window of `width` samples
+/// (edges use the available partial window).
+pub fn moving_average(signal: &[f64], width: usize) -> Vec<f64> {
+    if width <= 1 || signal.is_empty() {
+        return signal.to_vec();
+    }
+    let half = width / 2;
+    let mut out = Vec::with_capacity(signal.len());
+    // prefix sums for O(n)
+    let mut prefix = Vec::with_capacity(signal.len() + 1);
+    prefix.push(0.0);
+    for &v in signal {
+        prefix.push(prefix.last().unwrap() + v);
+    }
+    for i in 0..signal.len() {
+        let lo = i.saturating_sub(half);
+        let hi = (i + half + 1).min(signal.len());
+        out.push((prefix[hi] - prefix[lo]) / (hi - lo) as f64);
+    }
+    out
+}
+
+/// A detected local maximum.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Peak {
+    /// Sample index of the maximum.
+    pub index: usize,
+    /// Signal value at the maximum.
+    pub value: f64,
+}
+
+/// Finds local maxima of `signal` that are at least `min_height` tall,
+/// enforcing a minimum spacing of `min_distance` samples between
+/// retained peaks (taller peaks win).
+pub fn find_peaks(signal: &[f64], min_height: f64, min_distance: usize) -> Vec<Peak> {
+    let mut candidates = Vec::new();
+    for i in 1..signal.len().saturating_sub(1) {
+        if signal[i] >= min_height && signal[i] >= signal[i - 1] && signal[i] > signal[i + 1] {
+            candidates.push(Peak { index: i, value: signal[i] });
+        }
+    }
+    if min_distance <= 1 {
+        return candidates;
+    }
+    // Greedy suppression: keep taller peaks, drop neighbours within
+    // min_distance of an already-kept peak.
+    let mut by_height: Vec<usize> = (0..candidates.len()).collect();
+    by_height.sort_by(|&a, &b| {
+        candidates[b]
+            .value
+            .partial_cmp(&candidates[a].value)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut keep = vec![true; candidates.len()];
+    for &i in &by_height {
+        if !keep[i] {
+            continue;
+        }
+        for (j, k) in keep.iter_mut().enumerate() {
+            if j != i
+                && *k
+                && candidates[j].index.abs_diff(candidates[i].index) < min_distance
+                && candidates[j].value <= candidates[i].value
+            {
+                *k = false;
+            }
+        }
+    }
+    candidates
+        .into_iter()
+        .zip(keep)
+        .filter_map(|(p, k)| k.then_some(p))
+        .collect()
+}
+
+/// Scales `signal` so its maximum absolute value is 1 (no-op for an
+/// all-zero signal). Returns the scale factor applied.
+pub fn normalize_peak(signal: &mut [f64]) -> f64 {
+    let peak = signal.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+    if peak > 0.0 {
+        for v in signal.iter_mut() {
+            *v /= peak;
+        }
+        1.0 / peak
+    } else {
+        1.0
+    }
+}
+
+/// Keeps every `factor`-th sample, starting with the first.
+///
+/// # Panics
+///
+/// Panics if `factor` is zero.
+pub fn decimate(signal: &[f64], factor: usize) -> Vec<f64> {
+    assert!(factor > 0, "decimation factor must be positive");
+    signal.iter().step_by(factor).copied().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn convolution_with_identity_kernel() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(convolve_full(&x, &[1.0]), x.to_vec());
+        assert_eq!(convolve_same(&x, &[1.0]), x.to_vec());
+    }
+
+    #[test]
+    fn convolution_known_answer() {
+        // [1,2,3] * [1,1] = [1,3,5,3]
+        assert_eq!(convolve_full(&[1.0, 2.0, 3.0], &[1.0, 1.0]), vec![1.0, 3.0, 5.0, 3.0]);
+    }
+
+    #[test]
+    fn convolution_is_commutative() {
+        let a = [1.0, -2.0, 0.5, 3.0];
+        let b = [0.25, 4.0, -1.0];
+        assert_eq!(convolve_full(&a, &b), convolve_full(&b, &a));
+    }
+
+    #[test]
+    fn edge_kernel_peaks_on_rising_step() {
+        // Step from 0 to 1 at index 50.
+        let mut x = vec![0.0; 100];
+        for v in x.iter_mut().skip(50) {
+            *v = 1.0;
+        }
+        let response = convolve_same(&x, &edge_kernel(16));
+        let peak = find_peaks(&response, 1.0, 4);
+        assert_eq!(peak.len(), 1);
+        assert!(peak[0].index.abs_diff(50) <= 8, "peak at {}", peak[0].index);
+        assert!((peak[0].value - 8.0).abs() < 1e-9); // l/2 · step height
+    }
+
+    #[test]
+    fn edge_kernel_ignores_falling_step() {
+        let mut x = vec![1.0; 100];
+        for v in x.iter_mut().skip(50) {
+            *v = 0.0;
+        }
+        let response = convolve_same(&x, &edge_kernel(16));
+        assert!(find_peaks(&response, 1.0, 4).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn odd_edge_kernel_panics() {
+        edge_kernel(7);
+    }
+
+    #[test]
+    fn moving_average_smooths_noise() {
+        let x: Vec<f64> = (0..200).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let y = moving_average(&x, 10);
+        assert!(y[100].abs() < 0.21);
+    }
+
+    #[test]
+    fn moving_average_preserves_constant() {
+        let x = vec![3.5; 64];
+        for v in moving_average(&x, 9) {
+            assert!((v - 3.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn peaks_respect_min_distance() {
+        // Two nearby bumps: only the taller survives.
+        let mut x = vec![0.0; 64];
+        x[20] = 2.0;
+        x[24] = 5.0;
+        x[50] = 3.0;
+        let peaks = find_peaks(&x, 0.5, 10);
+        let idx: Vec<usize> = peaks.iter().map(|p| p.index).collect();
+        assert_eq!(idx, vec![24, 50]);
+    }
+
+    #[test]
+    fn peaks_respect_min_height() {
+        let mut x = vec![0.0; 32];
+        x[5] = 0.4;
+        x[15] = 2.0;
+        let peaks = find_peaks(&x, 1.0, 1);
+        assert_eq!(peaks.len(), 1);
+        assert_eq!(peaks[0].index, 15);
+    }
+
+    #[test]
+    fn plateau_counts_once() {
+        // Flat-topped bump: >= on the left, > on the right keeps the
+        // first sample of the plateau only.
+        let x = [0.0, 1.0, 1.0, 1.0, 0.0];
+        let peaks = find_peaks(&x, 0.5, 1);
+        assert_eq!(peaks.len(), 1);
+    }
+
+    #[test]
+    fn normalize_peak_scales_to_unit() {
+        let mut x = vec![0.0, -4.0, 2.0];
+        let k = normalize_peak(&mut x);
+        assert_eq!(x, vec![0.0, -1.0, 0.5]);
+        assert_eq!(k, 0.25);
+        let mut zeros = vec![0.0; 3];
+        assert_eq!(normalize_peak(&mut zeros), 1.0);
+    }
+
+    #[test]
+    fn decimate_keeps_every_kth() {
+        let x: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        assert_eq!(decimate(&x, 3), vec![0.0, 3.0, 6.0, 9.0]);
+        assert_eq!(decimate(&x, 1), x);
+    }
+}

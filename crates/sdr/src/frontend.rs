@@ -1,0 +1,277 @@
+//! Software-defined-radio receiver front-end model (RTL-SDR-like).
+//!
+//! The paper's receiver is an RTL-SDR v3: an 8-bit tuner dongle capped
+//! at 2.4 Msps. This module models the imperfections that matter for
+//! the detection algorithms: tuner frequency error (crystal ppm),
+//! automatic gain normalisation, ADC quantisation, and a small DC
+//! offset spur (a well-known RTL-SDR artefact).
+
+use crate::iq::Complex;
+
+/// RTL-SDR v3 maximum reliable sample rate, samples per second (§IV-C1).
+pub const RTL_SDR_MAX_SAMPLE_RATE: f64 = 2.4e6;
+
+/// Configuration of the receiver front end.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrontendConfig {
+    /// Complex sample rate in samples/second.
+    pub sample_rate: f64,
+    /// RF centre frequency the tuner is set to, hertz.
+    pub center_freq: f64,
+    /// ADC resolution in bits (8 for the RTL-SDR).
+    pub adc_bits: u32,
+    /// Crystal frequency error in parts-per-million; shifts every
+    /// received frequency by `center_freq · ppm / 1e6`.
+    pub ppm_error: f64,
+    /// DC offset spur amplitude relative to full scale.
+    pub dc_offset: f64,
+    /// Fraction of ADC full scale the AGC maps the observed signal
+    /// peak to (leaving headroom avoids clipping on transients).
+    pub agc_target: f64,
+}
+
+impl FrontendConfig {
+    /// An RTL-SDR v3 with a typical cheap-crystal error.
+    pub fn rtl_sdr_v3(center_freq: f64) -> Self {
+        FrontendConfig {
+            sample_rate: RTL_SDR_MAX_SAMPLE_RATE,
+            center_freq,
+            adc_bits: 8,
+            ppm_error: 1.5,
+            dc_offset: 0.004,
+            agc_target: 0.7,
+        }
+    }
+
+    /// An idealised front end: no quantisation, no ppm error, no spur.
+    pub fn ideal(sample_rate: f64, center_freq: f64) -> Self {
+        FrontendConfig {
+            sample_rate,
+            center_freq,
+            adc_bits: 64,
+            ppm_error: 0.0,
+            dc_offset: 0.0,
+            agc_target: 1.0,
+        }
+    }
+}
+
+/// A finished I/Q capture: what the receiver's DSP gets to work with.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Capture {
+    /// Complex baseband samples.
+    pub samples: Vec<Complex>,
+    /// Sample rate in samples/second.
+    pub sample_rate: f64,
+    /// RF centre frequency, hertz; baseband 0 Hz corresponds to this.
+    pub center_freq: f64,
+}
+
+impl Capture {
+    /// Capture duration in seconds.
+    pub fn duration(&self) -> f64 {
+        self.samples.len() as f64 / self.sample_rate
+    }
+
+    /// Converts an RF frequency to its baseband offset in this capture.
+    pub fn baseband(&self, rf_freq: f64) -> f64 {
+        rf_freq - self.center_freq
+    }
+}
+
+/// The receiver front end: applies tuner error, AGC and quantisation
+/// to an ideal analog baseband signal.
+#[derive(Debug, Clone)]
+pub struct Frontend {
+    config: FrontendConfig,
+}
+
+impl Frontend {
+    /// Creates a front end with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample rate is not positive or `adc_bits` is zero.
+    pub fn new(config: FrontendConfig) -> Self {
+        assert!(config.sample_rate > 0.0, "sample rate must be positive");
+        assert!(config.adc_bits > 0, "ADC must have at least one bit");
+        Frontend { config }
+    }
+
+    /// The configuration this front end was built with.
+    pub fn config(&self) -> &FrontendConfig {
+        &self.config
+    }
+
+    /// Digitises an ideal analog complex-baseband signal into a
+    /// [`Capture`], applying ppm frequency error, AGC scaling, DC
+    /// offset and ADC quantisation.
+    pub fn digitize(&self, analog: &[Complex]) -> Capture {
+        let cfg = &self.config;
+        let df = cfg.center_freq * cfg.ppm_error / 1e6;
+        // AGC: scale the peak to agc_target of full scale (1.0).
+        let peak = analog
+            .iter()
+            .map(|z| z.re.abs().max(z.im.abs()))
+            .fold(0.0f64, f64::max)
+            .max(1e-30);
+        let gain = cfg.agc_target / peak;
+        let quant_levels = if cfg.adc_bits >= 53 {
+            None
+        } else {
+            Some(((1u64 << (cfg.adc_bits - 1)) - 1) as f64)
+        };
+        let samples = analog
+            .iter()
+            .enumerate()
+            .map(|(n, &z)| {
+                let t = n as f64 / cfg.sample_rate;
+                // ppm error: everything appears shifted by df at baseband.
+                let mut v = z * Complex::cis(2.0 * std::f64::consts::PI * df * t);
+                v = v.scale(gain) + Complex::new(cfg.dc_offset, cfg.dc_offset);
+                match quant_levels {
+                    Some(q) => Complex::new(
+                        (v.re.clamp(-1.0, 1.0) * q).round() / q,
+                        (v.im.clamp(-1.0, 1.0) * q).round() / q,
+                    ),
+                    None => v,
+                }
+            })
+            .collect();
+        Capture {
+            samples,
+            sample_rate: cfg.sample_rate,
+            center_freq: cfg.center_freq,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fft::{fft, frequency_bin};
+
+    fn tone(freq: f64, fs: f64, n: usize, amp: f64) -> Vec<Complex> {
+        (0..n)
+            .map(|i| Complex::from_polar(amp, 2.0 * std::f64::consts::PI * freq * i as f64 / fs))
+            .collect()
+    }
+
+    #[test]
+    fn ideal_frontend_preserves_signal_shape() {
+        let fs = 1.0e6;
+        let x = tone(1e5, fs, 1024, 0.3);
+        let fe = Frontend::new(FrontendConfig::ideal(fs, 1e6));
+        let cap = fe.digitize(&x);
+        // AGC scales peak to 1.0; shape (ratio between samples) preserved.
+        let k = cap.samples[10].abs() / x[10].abs();
+        for (a, b) in cap.samples.iter().zip(&x) {
+            assert!((a.abs() - b.abs() * k).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn quantization_limits_precision() {
+        let fs = 1.0e6;
+        let x = tone(1e5, fs, 4096, 1.0);
+        let fe = Frontend::new(FrontendConfig {
+            adc_bits: 8,
+            ppm_error: 0.0,
+            dc_offset: 0.0,
+            ..FrontendConfig::rtl_sdr_v3(1e6)
+        });
+        let cap = fe.digitize(&x);
+        // All values on the 127-level grid.
+        for s in &cap.samples {
+            let g = s.re * 127.0;
+            assert!((g - g.round()).abs() < 1e-9);
+        }
+        // Quantisation error bounded by half an LSB.
+        for (a, b) in cap.samples.iter().zip(&x) {
+            assert!((a.re - b.re * 0.7).abs() <= 0.5 / 127.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn quantization_raises_noise_floor_but_keeps_tone_dominant() {
+        let fs = 2.4e6;
+        let f = 234_375.0; // exactly bin 100 of 1024 at 2.4 Msps
+        let x = tone(f, fs, 1024, 1.0);
+        let fe = Frontend::new(FrontendConfig {
+            ppm_error: 0.0,
+            dc_offset: 0.0,
+            ..FrontendConfig::rtl_sdr_v3(1.4e6)
+        });
+        let cap = fe.digitize(&x);
+        let spec = fft(&cap.samples);
+        let k = frequency_bin(f, 1024, fs);
+        let tone_mag = spec[k].abs();
+        let noise: f64 = spec
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != k && i != 0)
+            .map(|(_, z)| z.abs())
+            .fold(0.0, f64::max);
+        assert!(tone_mag > 50.0 * noise, "tone {tone_mag} vs max noise {noise}");
+    }
+
+    #[test]
+    fn ppm_error_shifts_the_tone() {
+        let fs = 2.4e6;
+        let n = 1 << 16;
+        let f = 234_375.0;
+        let center = 1.4e6;
+        let ppm = 40.0; // exaggerated for a visible shift: 56 Hz... use bigger center error
+        let x = tone(f, fs, n, 0.5);
+        let fe = Frontend::new(FrontendConfig {
+            ppm_error: ppm,
+            dc_offset: 0.0,
+            adc_bits: 62,
+            ..FrontendConfig::rtl_sdr_v3(center)
+        });
+        let cap = fe.digitize(&x);
+        let spec = fft(&cap.samples);
+        let k_nominal = frequency_bin(f, n, fs);
+        let expected_shift_hz = center * ppm / 1e6;
+        let k_expected = frequency_bin(f + expected_shift_hz, n, fs);
+        assert_ne!(k_nominal, k_expected, "test must move at least one bin");
+        let mag_nom = spec[k_nominal].abs();
+        let mag_exp = spec[k_expected].abs();
+        assert!(mag_exp > mag_nom, "shifted bin should dominate");
+    }
+
+    #[test]
+    fn dc_offset_appears_at_bin_zero() {
+        let fs = 1e6;
+        let x = tone(2e5, fs, 4096, 1.0);
+        let fe = Frontend::new(FrontendConfig {
+            dc_offset: 0.05,
+            ppm_error: 0.0,
+            ..FrontendConfig::rtl_sdr_v3(1e6)
+        });
+        let cap = fe.digitize(&x);
+        let spec = fft(&cap.samples[..1024]);
+        assert!(spec[0].abs() > 20.0, "DC spur missing: {}", spec[0].abs());
+    }
+
+    #[test]
+    fn capture_metadata_helpers() {
+        let cap = Capture {
+            samples: vec![Complex::ZERO; 2_400_000],
+            sample_rate: 2.4e6,
+            center_freq: 1.4e6,
+        };
+        assert!((cap.duration() - 1.0).abs() < 1e-12);
+        assert_eq!(cap.baseband(1.4e6), 0.0);
+        assert_eq!(cap.baseband(970e3), -430e3);
+    }
+
+    #[test]
+    #[should_panic(expected = "sample rate")]
+    fn zero_sample_rate_panics() {
+        Frontend::new(FrontendConfig {
+            sample_rate: 0.0,
+            ..FrontendConfig::ideal(1.0, 0.0)
+        });
+    }
+}

@@ -1,0 +1,102 @@
+//! Digital mixing: retuning a capture in software.
+//!
+//! An RTL-SDR capture is centred wherever the tuner was pointed; to
+//! put a specific VRM harmonic at a convenient baseband offset (or at
+//! DC for a filter-and-decimate chain), multiply by a complex
+//! exponential. Lossless and exact — the software equivalent of
+//! turning the tuning knob.
+
+use crate::frontend::Capture;
+use crate::iq::Complex;
+
+/// Frequency-shifts complex baseband samples by `shift_hz`: energy at
+/// baseband frequency `f` moves to `f + shift_hz`.
+pub fn mix(samples: &[Complex], sample_rate: f64, shift_hz: f64) -> Vec<Complex> {
+    let step = 2.0 * std::f64::consts::PI * shift_hz / sample_rate;
+    samples
+        .iter()
+        .enumerate()
+        .map(|(n, &z)| z * Complex::cis(step * n as f64))
+        .collect()
+}
+
+/// Returns a copy of `capture` digitally retuned to `new_center_hz`:
+/// the samples are mixed so that RF frequencies keep their identity
+/// while the baseband origin moves.
+pub fn retune(capture: &Capture, new_center_hz: f64) -> Capture {
+    let shift = capture.center_freq - new_center_hz;
+    Capture {
+        samples: mix(&capture.samples, capture.sample_rate, shift),
+        sample_rate: capture.sample_rate,
+        center_freq: new_center_hz,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fft::{fft, frequency_bin};
+
+    fn tone(f_bb: f64, fs: f64, n: usize) -> Vec<Complex> {
+        (0..n)
+            .map(|i| Complex::cis(2.0 * std::f64::consts::PI * f_bb * i as f64 / fs))
+            .collect()
+    }
+
+    fn peak_bin(samples: &[Complex]) -> usize {
+        let spec = fft(samples);
+        spec.iter()
+            .enumerate()
+            .max_by(|a, b| a.1.abs().partial_cmp(&b.1.abs()).unwrap())
+            .map(|(k, _)| k)
+            .expect("non-empty")
+    }
+
+    #[test]
+    fn mixing_moves_a_tone_by_the_shift() {
+        let fs = 1024.0;
+        let x = tone(128.0, fs, 1024);
+        let shifted = mix(&x, fs, 64.0);
+        assert_eq!(peak_bin(&shifted), frequency_bin(192.0, 1024, fs));
+        // Negative shifts too.
+        let down = mix(&x, fs, -256.0);
+        assert_eq!(peak_bin(&down), frequency_bin(-128.0, 1024, fs));
+    }
+
+    #[test]
+    fn mixing_preserves_magnitude() {
+        let fs = 1000.0;
+        let x = tone(100.0, fs, 512);
+        let y = mix(&x, fs, 333.0);
+        for (a, b) in x.iter().zip(&y) {
+            assert!((a.abs() - b.abs()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn retune_keeps_rf_identity() {
+        // A tone at RF 1.0 MHz in a capture centred at 1.4 MHz sits at
+        // −400 kHz; retuned to 1.2 MHz it must sit at −200 kHz.
+        let fs = 2.4e6;
+        let n = 4096;
+        let cap = Capture {
+            samples: tone(-400e3, fs, n),
+            sample_rate: fs,
+            center_freq: 1.4e6,
+        };
+        let retuned = retune(&cap, 1.2e6);
+        assert_eq!(retuned.center_freq, 1.2e6);
+        assert_eq!(peak_bin(&retuned.samples), frequency_bin(-200e3, n, fs));
+        // The RF frequency implied by the peak is unchanged.
+        assert!((retuned.baseband(1.0e6) - -200e3).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_shift_is_identity() {
+        let x = tone(50.0, 500.0, 256);
+        let y = mix(&x, 500.0, 0.0);
+        for (a, b) in x.iter().zip(&y) {
+            assert!((*a - *b).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,305 @@
+//! Sliding discrete Fourier transform for per-sample bin tracking.
+//!
+//! The paper's receiver (§IV-B, Eq. (1)) computes, for *every* sample
+//! position `n`, the sum of FFT-bin magnitudes over the set `S` of
+//! VRM-related frequency components — an STFT with "maximum
+//! overlapping" (hop = 1). Computing a full 1024-point FFT per sample
+//! is wasteful when only two or three bins are needed, so this module
+//! implements the classic sliding-DFT recursion
+//!
+//! ```text
+//! F_{n+1}[k] = (F_n[k] + x[n+1] − x[n+1−M]) · e^{+2πik/M}
+//! ```
+//!
+//! with periodic exact re-summation to keep floating-point drift
+//! bounded. The result is numerically equal (to ~1e-9) to evaluating a
+//! rectangular-windowed DFT at every sample, at `O(|S|)` per sample.
+
+use crate::fft::frequency_bin;
+use crate::iq::Complex;
+
+/// Tracks the complex value of selected DFT bins over a sliding
+/// rectangular window of `M` samples.
+#[derive(Debug, Clone)]
+pub struct SlidingDft {
+    window: usize,
+    bins: Vec<usize>,
+    /// Per-bin phase rotator `e^{+2πik/M}`.
+    rotators: Vec<Complex>,
+    /// Per-bin current value `F_n[k]`.
+    values: Vec<Complex>,
+    /// Ring buffer of the last `M` input samples.
+    ring: Vec<Complex>,
+    head: usize,
+    seen: usize,
+    since_refresh: usize,
+}
+
+impl SlidingDft {
+    /// Creates a tracker over a window of `window` samples for the
+    /// given bin indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero, `bins` is empty, or any bin index
+    /// is `>= window`.
+    pub fn new(window: usize, bins: &[usize]) -> Self {
+        assert!(window > 0, "window must be positive");
+        assert!(!bins.is_empty(), "at least one bin must be tracked");
+        assert!(bins.iter().all(|&k| k < window), "bin index out of range");
+        let rotators = bins
+            .iter()
+            .map(|&k| Complex::cis(2.0 * std::f64::consts::PI * k as f64 / window as f64))
+            .collect();
+        SlidingDft {
+            window,
+            bins: bins.to_vec(),
+            rotators,
+            values: vec![Complex::ZERO; bins.len()],
+            ring: vec![Complex::ZERO; window],
+            head: 0,
+            seen: 0,
+            since_refresh: 0,
+        }
+    }
+
+    /// Convenience constructor taking baseband frequencies instead of
+    /// bin indices (frequencies are snapped to the nearest bin).
+    pub fn for_frequencies(window: usize, frequencies: &[f64], sample_rate: f64) -> Self {
+        let bins: Vec<usize> = frequencies
+            .iter()
+            .map(|&f| frequency_bin(f, window, sample_rate))
+            .collect();
+        SlidingDft::new(window, &bins)
+    }
+
+    /// Window length `M`.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Tracked bin indices.
+    pub fn bins(&self) -> &[usize] {
+        &self.bins
+    }
+
+    /// Pushes one sample and updates every tracked bin.
+    pub fn push(&mut self, x: Complex) {
+        let oldest = self.ring[self.head];
+        self.ring[self.head] = x;
+        self.head = (self.head + 1) % self.window;
+        self.seen += 1;
+        self.since_refresh += 1;
+        if self.since_refresh >= self.window {
+            self.refresh();
+        } else {
+            for (v, r) in self.values.iter_mut().zip(&self.rotators) {
+                *v = (*v + x - oldest) * *r;
+            }
+        }
+    }
+
+    /// Exactly recomputes every tracked bin from the ring buffer,
+    /// clearing accumulated floating-point drift.
+    fn refresh(&mut self) {
+        self.since_refresh = 0;
+        for (slot, &k) in self.values.iter_mut().zip(&self.bins) {
+            let mut acc = Complex::ZERO;
+            // Ring order: ring[head] is the oldest sample (index 0 of the window).
+            for m in 0..self.window {
+                let x = self.ring[(self.head + m) % self.window];
+                acc += x * Complex::cis(-2.0 * std::f64::consts::PI * k as f64 * m as f64
+                    / self.window as f64);
+            }
+            *slot = acc;
+        }
+    }
+
+    /// Returns `true` once at least one full window has been seen, so
+    /// the tracked values describe a fully-populated window.
+    pub fn is_primed(&self) -> bool {
+        self.seen >= self.window
+    }
+
+    /// Current complex value of each tracked bin.
+    pub fn values(&self) -> &[Complex] {
+        &self.values
+    }
+
+    /// Sum of the magnitudes of all tracked bins — one sample of the
+    /// paper's Eq. (1) energy signal `Y[n]`.
+    pub fn magnitude_sum(&self) -> f64 {
+        self.values.iter().map(|v| v.abs()).sum()
+    }
+}
+
+/// Computes the paper's Eq. (1) energy signal for an entire capture:
+/// `Y[n] = Σ_{k∈S} |F_n[k]|`, one value per input sample once the
+/// window is primed, optionally decimated by `decimation` to keep
+/// downstream processing tractable.
+///
+/// Returns `(signal, effective_sample_rate_divisor)` where the signal
+/// has one entry per `decimation` input samples.
+///
+/// # Panics
+///
+/// Panics if `decimation` is zero (see [`SlidingDft::new`] for the
+/// window/bin preconditions).
+///
+/// # Examples
+///
+/// ```
+/// use emsc_sdr::iq::Complex;
+/// use emsc_sdr::sliding::energy_signal;
+///
+/// let fs = 1024.0;
+/// let tone: Vec<Complex> = (0..4096)
+///     .map(|n| Complex::cis(2.0 * std::f64::consts::PI * 128.0 * n as f64 / fs))
+///     .collect();
+/// let y = energy_signal(&tone, 256, &[32], 4);
+/// // steady tone ⇒ steady energy ≈ window size
+/// assert!(y.iter().all(|&v| (v - 256.0).abs() < 1.0));
+/// ```
+pub fn energy_signal(
+    samples: &[Complex],
+    window: usize,
+    bins: &[usize],
+    decimation: usize,
+) -> Vec<f64> {
+    assert!(decimation > 0, "decimation must be positive");
+    let mut sdft = SlidingDft::new(window, bins);
+    let mut out = Vec::with_capacity(samples.len().saturating_sub(window) / decimation + 1);
+    for (n, &x) in samples.iter().enumerate() {
+        sdft.push(x);
+        if sdft.is_primed() && (n + 1 - window).is_multiple_of(decimation) {
+            out.push(sdft.magnitude_sum());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fft::fft;
+
+    /// Direct windowed DFT of the window ending at sample `end`
+    /// (inclusive), for cross-checking the recursion.
+    fn direct_bin(samples: &[Complex], end: usize, window: usize, k: usize) -> Complex {
+        let start = end + 1 - window;
+        let mut acc = Complex::ZERO;
+        for m in 0..window {
+            acc += samples[start + m]
+                * Complex::cis(-2.0 * std::f64::consts::PI * k as f64 * m as f64 / window as f64);
+        }
+        acc
+    }
+
+    fn chirpy_signal(n: usize) -> Vec<Complex> {
+        (0..n)
+            .map(|i| {
+                let t = i as f64;
+                Complex::new((0.013 * t).sin() + 0.2 * (0.11 * t).cos(), (0.007 * t * t * 1e-3).sin())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_direct_dft_everywhere() {
+        let samples = chirpy_signal(700);
+        let window = 128;
+        let bins = [5usize, 31, 64];
+        let mut sdft = SlidingDft::new(window, &bins);
+        for (n, &x) in samples.iter().enumerate() {
+            sdft.push(x);
+            if sdft.is_primed() {
+                for (i, &k) in bins.iter().enumerate() {
+                    let want = direct_bin(&samples, n, window, k);
+                    let got = sdft.values()[i];
+                    assert!(
+                        (want - got).abs() < 1e-8,
+                        "bin {k} at n={n}: want {want}, got {got}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn agrees_with_full_fft_at_window_boundary() {
+        let samples = chirpy_signal(256);
+        let window = 256;
+        let mut sdft = SlidingDft::new(window, &[3, 17]);
+        for &x in &samples {
+            sdft.push(x);
+        }
+        let spectrum = fft(&samples);
+        assert!((sdft.values()[0] - spectrum[3]).abs() < 1e-8);
+        assert!((sdft.values()[1] - spectrum[17]).abs() < 1e-8);
+    }
+
+    #[test]
+    fn drift_stays_bounded_over_long_runs() {
+        // 50k samples, window 64: the periodic refresh must keep the
+        // recursion glued to the direct computation.
+        let samples = chirpy_signal(50_000);
+        let window = 64;
+        let k = 9;
+        let mut sdft = SlidingDft::new(window, &[k]);
+        let mut worst = 0.0f64;
+        for (n, &x) in samples.iter().enumerate() {
+            sdft.push(x);
+            if sdft.is_primed() && n % 997 == 0 {
+                let err = (sdft.values()[0] - direct_bin(&samples, n, window, k)).abs();
+                worst = worst.max(err);
+            }
+        }
+        assert!(worst < 1e-7, "worst drift {worst}");
+    }
+
+    #[test]
+    fn energy_signal_tracks_onoff_keying() {
+        let fs = 2048.0;
+        let f = 512.0;
+        let mut samples: Vec<Complex> = (0..8192)
+            .map(|n| Complex::cis(2.0 * std::f64::consts::PI * f * n as f64 / fs))
+            .collect();
+        for s in samples.iter_mut().skip(4096) {
+            *s = Complex::ZERO;
+        }
+        let y = energy_signal(&samples, 256, &[frequency_bin(f, 256, fs)], 1);
+        // Energy high in the "on" region, low in the "off" region.
+        assert!(y[1000] > 250.0);
+        assert!(y[y.len() - 100] < 1.0);
+        // Transition is a ramp of exactly `window` samples.
+        let hi = y[3500];
+        let lo = y[4600];
+        assert!(hi / (lo + 1e-12) > 1e3);
+    }
+
+    #[test]
+    fn decimation_reduces_length() {
+        let samples = chirpy_signal(4096);
+        let full = energy_signal(&samples, 128, &[7], 1);
+        let dec = energy_signal(&samples, 128, &[7], 8);
+        assert_eq!(full.len(), 4096 - 128 + 1);
+        assert_eq!(dec.len(), (4096 - 128) / 8 + 1);
+        // Decimated values are a strict subsequence of the full ones.
+        for (i, &v) in dec.iter().enumerate() {
+            assert!((v - full[i * 8]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn for_frequencies_snaps_to_bins() {
+        let sdft = SlidingDft::for_frequencies(1024, &[970e3, 1.94e6], 2.4e6);
+        assert_eq!(sdft.bins()[0], frequency_bin(970e3, 1024, 2.4e6));
+        assert_eq!(sdft.bins()[1], frequency_bin(1.94e6, 1024, 2.4e6));
+    }
+
+    #[test]
+    #[should_panic(expected = "bin index")]
+    fn bin_out_of_range_panics() {
+        SlidingDft::new(64, &[64]);
+    }
+}

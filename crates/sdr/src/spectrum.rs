@@ -1,0 +1,199 @@
+//! Welch power-spectral-density estimation.
+//!
+//! Averaged, windowed periodograms — the standard way to get a stable
+//! spectrum estimate out of a noisy capture, used by the
+//! `spectrum_scan` example and handy for eyeballing a link budget.
+
+use crate::fft::{bin_frequency, FftPlan};
+use crate::iq::Complex;
+use crate::window::Window;
+
+/// A power-spectral-density estimate over FFT bins.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Psd {
+    /// Mean power per bin (linear, |X|²/N², window-gain corrected).
+    power: Vec<f64>,
+    sample_rate: f64,
+    /// Number of averaged segments.
+    segments: usize,
+}
+
+impl Psd {
+    /// Number of frequency bins.
+    pub fn bins(&self) -> usize {
+        self.power.len()
+    }
+
+    /// Number of segments averaged.
+    pub fn segments(&self) -> usize {
+        self.segments
+    }
+
+    /// Linear power at bin `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    pub fn power(&self, k: usize) -> f64 {
+        self.power[k]
+    }
+
+    /// Power in decibels (relative) at bin `k`.
+    pub fn power_db(&self, k: usize) -> f64 {
+        10.0 * self.power[k].max(1e-300).log10()
+    }
+
+    /// Baseband frequency of bin `k`, hertz.
+    pub fn frequency(&self, k: usize) -> f64 {
+        bin_frequency(k, self.power.len(), self.sample_rate)
+    }
+
+    /// `(frequency, power)` pairs sorted by frequency (ascending),
+    /// convenient for plotting.
+    pub fn sorted_points(&self) -> Vec<(f64, f64)> {
+        let mut pts: Vec<(f64, f64)> = (0..self.bins())
+            .map(|k| (self.frequency(k), self.power(k)))
+            .collect();
+        pts.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        pts
+    }
+
+    /// The `n` strongest peaks as `(frequency, power_db)`, each at
+    /// least `min_separation_hz` apart.
+    pub fn peaks(&self, n: usize, min_separation_hz: f64) -> Vec<(f64, f64)> {
+        let mut order: Vec<usize> = (0..self.bins()).collect();
+        order.sort_by(|&a, &b| {
+            self.power[b]
+                .partial_cmp(&self.power[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let mut out: Vec<(f64, f64)> = Vec::new();
+        for k in order {
+            let f = self.frequency(k);
+            if out.iter().all(|&(of, _)| (of - f).abs() >= min_separation_hz) {
+                out.push((f, self.power_db(k)));
+                if out.len() == n {
+                    break;
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Welch's method: split `samples` into 50 %-overlapped segments of
+/// `fft_size`, window each, and average the periodograms.
+///
+/// # Panics
+///
+/// Panics if `fft_size` is not a power of two or the capture is
+/// shorter than one segment.
+pub fn welch_psd(samples: &[Complex], sample_rate: f64, fft_size: usize, window: Window) -> Psd {
+    assert!(fft_size.is_power_of_two(), "fft_size must be a power of two");
+    assert!(samples.len() >= fft_size, "capture shorter than one segment");
+    let hop = fft_size / 2;
+    let plan = FftPlan::new(fft_size);
+    let win = window.coefficients(fft_size);
+    let win_power: f64 = win.iter().map(|w| w * w).sum::<f64>() / fft_size as f64;
+    let mut acc = vec![0.0f64; fft_size];
+    let mut segments = 0;
+    let mut start = 0;
+    let mut buf = vec![Complex::ZERO; fft_size];
+    while start + fft_size <= samples.len() {
+        for (i, slot) in buf.iter_mut().enumerate() {
+            *slot = samples[start + i].scale(win[i]);
+        }
+        plan.forward(&mut buf);
+        for (a, z) in acc.iter_mut().zip(&buf) {
+            *a += z.norm_sqr();
+        }
+        segments += 1;
+        start += hop;
+    }
+    let norm = (segments as f64) * (fft_size as f64).powi(2) * win_power;
+    for a in &mut acc {
+        *a /= norm;
+    }
+    Psd { power: acc, sample_rate, segments }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fft::frequency_bin;
+
+    fn tone(f: f64, fs: f64, amp: f64, n: usize) -> Vec<Complex> {
+        (0..n)
+            .map(|i| Complex::from_polar(amp, 2.0 * std::f64::consts::PI * f * i as f64 / fs))
+            .collect()
+    }
+
+    #[test]
+    fn tone_power_is_estimated_correctly() {
+        let fs = 1024.0;
+        // Bin-centred tone, amplitude 2 ⇒ power 4.
+        let x = tone(128.0, fs, 2.0, 8192);
+        let psd = welch_psd(&x, fs, 256, Window::Rectangular);
+        let k = frequency_bin(128.0, 256, fs);
+        assert!((psd.power(k) - 4.0).abs() < 0.05, "power {}", psd.power(k));
+        assert!(psd.segments() > 10);
+    }
+
+    #[test]
+    fn averaging_reduces_noise_variance() {
+        // Deterministic pseudo-noise; more segments → smoother floor.
+        let mut state = 1u64;
+        let mut noise = |_: usize| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            Complex::new(
+                (state % 1000) as f64 / 1000.0 - 0.5,
+                ((state >> 10) % 1000) as f64 / 1000.0 - 0.5,
+            )
+        };
+        let x: Vec<Complex> = (0..65_536).map(&mut noise).collect();
+        let psd_short = welch_psd(&x[..1024], 1.0, 256, Window::Hann);
+        let psd_long = welch_psd(&x, 1.0, 256, Window::Hann);
+        let spread = |p: &Psd| {
+            let vals: Vec<f64> = (0..p.bins()).map(|k| p.power(k)).collect();
+            let m = vals.iter().sum::<f64>() / vals.len() as f64;
+            vals.iter().map(|v| (v - m).powi(2)).sum::<f64>().sqrt() / m
+        };
+        assert!(spread(&psd_long) < 0.5 * spread(&psd_short));
+    }
+
+    #[test]
+    fn peaks_finds_separated_tones() {
+        let fs = 1000.0;
+        let n = 16384;
+        let mut x = tone(100.0, fs, 3.0, n);
+        let weak = tone(-220.0, fs, 1.0, n);
+        for (a, b) in x.iter_mut().zip(&weak) {
+            *a += *b;
+        }
+        let psd = welch_psd(&x, fs, 512, Window::Hann);
+        let peaks = psd.peaks(2, 50.0);
+        assert_eq!(peaks.len(), 2);
+        assert!((peaks[0].0 - 100.0).abs() < 3.0, "strongest at {}", peaks[0].0);
+        assert!((peaks[1].0 + 220.0).abs() < 3.0, "second at {}", peaks[1].0);
+        assert!(peaks[0].1 > peaks[1].1);
+    }
+
+    #[test]
+    fn sorted_points_are_ascending() {
+        let x = tone(10.0, 100.0, 1.0, 2048);
+        let psd = welch_psd(&x, 100.0, 128, Window::Hann);
+        let pts = psd.sorted_points();
+        for w in pts.windows(2) {
+            assert!(w[0].0 < w[1].0);
+        }
+        assert_eq!(pts.len(), 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "shorter")]
+    fn short_capture_panics() {
+        welch_psd(&[Complex::ZERO; 100], 1.0, 256, Window::Hann);
+    }
+}

@@ -1,0 +1,366 @@
+//! Statistics used by the receiver: histograms, quantiles, Rayleigh
+//! fits and bimodal-threshold selection.
+//!
+//! Three of the paper's figures are statistical artefacts of the
+//! receiver pipeline: Fig. 6 fits a (Rayleigh-like, positively skewed)
+//! distribution to inter-bit distances and takes the median as the
+//! symbol period; Fig. 7 finds the two modes of the per-bit power
+//! histogram and places the decision threshold halfway between them.
+
+/// A fixed-width histogram over `[min, max]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    counts: Vec<usize>,
+    min: f64,
+    max: f64,
+    total: usize,
+}
+
+impl Histogram {
+    /// Builds a histogram of `data` with `bins` equal-width bins
+    /// spanning the data's own min/max (a degenerate span is widened
+    /// slightly so every sample lands in-range).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins` is zero or `data` is empty.
+    pub fn from_data(data: &[f64], bins: usize) -> Self {
+        assert!(bins > 0, "bins must be positive");
+        assert!(!data.is_empty(), "cannot build a histogram of no data");
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for &v in data {
+            min = min.min(v);
+            max = max.max(v);
+        }
+        if max - min < 1e-300 {
+            max = min + 1.0;
+        }
+        let mut h = Histogram { counts: vec![0; bins], min, max, total: 0 };
+        for &v in data {
+            h.add(v);
+        }
+        h
+    }
+
+    /// Adds a sample (values outside `[min, max]` clamp to the edge bins).
+    pub fn add(&mut self, value: f64) {
+        let bins = self.counts.len();
+        let frac = (value - self.min) / (self.max - self.min);
+        let idx = ((frac * bins as f64) as isize).clamp(0, bins as isize - 1) as usize;
+        self.counts[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Number of bins.
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Raw bin counts.
+    pub fn counts(&self) -> &[usize] {
+        &self.counts
+    }
+
+    /// Total samples added.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Centre value of bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= bins()`.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        assert!(i < self.counts.len(), "bin index out of range");
+        let width = (self.max - self.min) / self.counts.len() as f64;
+        self.min + (i as f64 + 0.5) * width
+    }
+
+    /// The probability density estimate per bin (counts normalised so
+    /// the histogram integrates to 1).
+    pub fn density(&self) -> Vec<f64> {
+        let width = (self.max - self.min) / self.counts.len() as f64;
+        let norm = self.total.max(1) as f64 * width;
+        self.counts.iter().map(|&c| c as f64 / norm).collect()
+    }
+
+    /// Finds the two most prominent, well-separated modes of the
+    /// (smoothed) histogram and returns their bin centres in ascending
+    /// order — the Fig. 7 "two peaks" of the per-bit power
+    /// distribution. Returns `None` when the histogram is unimodal.
+    pub fn two_modes(&self) -> Option<(f64, f64)> {
+        let smoothed = crate::dsp::moving_average(
+            &self.counts.iter().map(|&c| c as f64).collect::<Vec<_>>(),
+            (self.counts.len() / 16).max(3),
+        );
+        // Pad with zeros so modes sitting on the histogram edges are
+        // still interior local maxima for the peak finder.
+        let mut padded = Vec::with_capacity(smoothed.len() + 2);
+        padded.push(0.0);
+        padded.extend_from_slice(&smoothed);
+        padded.push(0.0);
+        let min_sep = (self.counts.len() / 8).max(2);
+        let peak_floor = smoothed.iter().cloned().fold(0.0f64, f64::max) * 0.05;
+        let peaks: Vec<crate::dsp::Peak> = crate::dsp::find_peaks(&padded, peak_floor, min_sep)
+            .into_iter()
+            .map(|p| crate::dsp::Peak { index: p.index - 1, value: p.value })
+            .collect();
+        if peaks.len() < 2 {
+            return None;
+        }
+        let mut best = peaks.to_vec();
+        best.sort_by(|a, b| b.value.partial_cmp(&a.value).unwrap_or(std::cmp::Ordering::Equal));
+        let (a, b) = (best[0].index, best[1].index);
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        Some((self.bin_center(lo), self.bin_center(hi)))
+    }
+}
+
+/// Returns the `q`-quantile (0 ≤ q ≤ 1) of `data` by linear
+/// interpolation on the sorted samples.
+///
+/// # Panics
+///
+/// Panics if `data` is empty or `q` is outside `[0, 1]`.
+pub fn quantile(data: &[f64], q: f64) -> f64 {
+    assert!(!data.is_empty(), "quantile of no data");
+    assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+    let mut sorted = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Median: the 0.5-quantile. The paper picks the signalling time as
+/// "the point whose cumulative probability distribution equals 0.5"
+/// (§IV-B2).
+///
+/// # Panics
+///
+/// Panics if `data` is empty.
+pub fn median(data: &[f64]) -> f64 {
+    quantile(data, 0.5)
+}
+
+/// Sample mean.
+///
+/// # Panics
+///
+/// Panics if `data` is empty.
+pub fn mean(data: &[f64]) -> f64 {
+    assert!(!data.is_empty(), "mean of no data");
+    data.iter().sum::<f64>() / data.len() as f64
+}
+
+/// Unbiased sample variance (returns 0 for fewer than two samples).
+pub fn variance(data: &[f64]) -> f64 {
+    if data.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(data);
+    data.iter().map(|&v| (v - m) * (v - m)).sum::<f64>() / (data.len() - 1) as f64
+}
+
+/// Fisher–Pearson sample skewness; positive for right-skewed data such
+/// as the paper's pulse-width distribution (Fig. 6).
+pub fn skewness(data: &[f64]) -> f64 {
+    if data.len() < 3 {
+        return 0.0;
+    }
+    let m = mean(data);
+    let n = data.len() as f64;
+    let m2 = data.iter().map(|&v| (v - m).powi(2)).sum::<f64>() / n;
+    let m3 = data.iter().map(|&v| (v - m).powi(3)).sum::<f64>() / n;
+    if m2 <= 0.0 {
+        0.0
+    } else {
+        m3 / m2.powf(1.5)
+    }
+}
+
+/// A fitted Rayleigh distribution (the paper's Fig. 6 model for the
+/// pulse-width variation of the covert channel), with an optional
+/// location shift since real bit periods have a hard minimum.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RayleighFit {
+    /// Location (minimum) parameter.
+    pub location: f64,
+    /// Scale parameter σ.
+    pub sigma: f64,
+}
+
+impl RayleighFit {
+    /// Maximum-likelihood fit of a shifted Rayleigh: location is the
+    /// sample minimum (shrunk marginally so the smallest point has
+    /// nonzero density), and `σ² = mean((x−loc)²)/2`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty.
+    pub fn fit(data: &[f64]) -> Self {
+        assert!(!data.is_empty(), "cannot fit to no data");
+        let min = data.iter().cloned().fold(f64::INFINITY, f64::min);
+        let location = min - 1e-9 * min.abs().max(1.0);
+        let ms: f64 = data.iter().map(|&x| (x - location).powi(2)).sum::<f64>() / data.len() as f64;
+        RayleighFit { location, sigma: (ms / 2.0).sqrt() }
+    }
+
+    /// Probability density at `x`.
+    pub fn pdf(&self, x: f64) -> f64 {
+        let z = x - self.location;
+        if z < 0.0 || self.sigma <= 0.0 {
+            return 0.0;
+        }
+        let s2 = self.sigma * self.sigma;
+        z / s2 * (-z * z / (2.0 * s2)).exp()
+    }
+
+    /// Cumulative distribution at `x`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        let z = x - self.location;
+        if z <= 0.0 || self.sigma <= 0.0 {
+            return 0.0;
+        }
+        1.0 - (-z * z / (2.0 * self.sigma * self.sigma)).exp()
+    }
+
+    /// Median of the fitted distribution: `loc + σ·√(2 ln 2)`.
+    pub fn median(&self) -> f64 {
+        self.location + self.sigma * (2.0 * std::f64::consts::LN_2).sqrt()
+    }
+
+    /// Mode (peak density) of the fitted distribution: `loc + σ`.
+    pub fn mode(&self) -> f64 {
+        self.location + self.sigma
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_counts_land_in_right_bins() {
+        let data = [0.0, 0.1, 0.9, 1.0, 0.5];
+        let h = Histogram::from_data(&data, 2);
+        assert_eq!(h.total(), 5);
+        assert_eq!(h.counts()[0], 2); // 0.0, 0.1
+        assert_eq!(h.counts()[1], 3); // 0.5, 0.9, 1.0 (0.5 is exactly the boundary → upper bin)
+    }
+
+    #[test]
+    fn histogram_density_integrates_to_one() {
+        let data: Vec<f64> = (0..1000).map(|i| (i as f64 * 0.017).sin()).collect();
+        let h = Histogram::from_data(&data, 32);
+        let width = 2.0 / 32.0; // sin spans [-1, 1] approx
+        let integral: f64 = h.density().iter().map(|d| d * width).sum();
+        assert!((integral - 1.0).abs() < 0.05, "integral {integral}");
+    }
+
+    #[test]
+    fn histogram_degenerate_data() {
+        let h = Histogram::from_data(&[2.0, 2.0, 2.0], 4);
+        assert_eq!(h.total(), 3);
+        assert_eq!(h.counts().iter().sum::<usize>(), 3);
+    }
+
+    #[test]
+    fn two_modes_finds_bimodal_peaks() {
+        // Cluster around 1.0 and around 5.0.
+        let mut data = Vec::new();
+        for i in 0..500 {
+            data.push(1.0 + 0.2 * ((i * 7 % 13) as f64 / 13.0 - 0.5));
+            data.push(5.0 + 0.3 * ((i * 11 % 17) as f64 / 17.0 - 0.5));
+        }
+        let h = Histogram::from_data(&data, 64);
+        let (lo, hi) = h.two_modes().expect("bimodal data must yield two modes");
+        assert!((lo - 1.0).abs() < 0.4, "low mode {lo}");
+        assert!((hi - 5.0).abs() < 0.4, "high mode {hi}");
+    }
+
+    #[test]
+    fn two_modes_rejects_unimodal() {
+        let data: Vec<f64> = (0..1000).map(|i| ((i * 37) % 100) as f64 * 0.001 + 3.0).collect();
+        let h = Histogram::from_data(&data, 32);
+        // A flat/unimodal blob has no well-separated second peak.
+        if let Some((lo, hi)) = h.two_modes() {
+            // If the smoother finds two bumps in a flat blob they must be close together.
+            assert!(hi - lo < 0.2, "spurious modes {lo} {hi}");
+        }
+    }
+
+    #[test]
+    fn quantiles_of_known_data() {
+        let data = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(median(&data), 3.0);
+        assert_eq!(quantile(&data, 0.0), 1.0);
+        assert_eq!(quantile(&data, 1.0), 5.0);
+        assert_eq!(quantile(&data, 0.25), 2.0);
+    }
+
+    #[test]
+    fn median_interpolates_even_counts() {
+        assert_eq!(median(&[1.0, 2.0, 3.0, 10.0]), 2.5);
+    }
+
+    #[test]
+    fn mean_variance_known() {
+        let data = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&data), 5.0);
+        assert!((variance(&data) - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn skewness_signs() {
+        let right = [1.0, 1.0, 1.0, 1.1, 1.2, 5.0];
+        let left = [5.0, 5.0, 5.0, 4.9, 4.8, 1.0];
+        assert!(skewness(&right) > 0.5);
+        assert!(skewness(&left) < -0.5);
+        assert!(skewness(&[1.0, 2.0, 3.0]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rayleigh_fit_recovers_sigma() {
+        // Deterministic Rayleigh samples via inverse CDF on a stratified grid.
+        let sigma = 2.5;
+        let data: Vec<f64> = (1..1000)
+            .map(|i| {
+                let u = i as f64 / 1000.0;
+                sigma * (-2.0 * (1.0 - u).ln()).sqrt()
+            })
+            .collect();
+        let fit = RayleighFit::fit(&data);
+        assert!((fit.sigma - sigma).abs() / sigma < 0.05, "sigma {}", fit.sigma);
+        // The location estimate is the sample minimum, which for this
+        // stratified grid is σ·√(−2 ln 0.999) ≈ 0.112.
+        assert!(fit.location.abs() < 0.15, "location {}", fit.location);
+        // Median of fit close to analytic median.
+        let analytic = sigma * (2.0f64 * std::f64::consts::LN_2).sqrt();
+        assert!((fit.median() - analytic).abs() / analytic < 0.05);
+    }
+
+    #[test]
+    fn rayleigh_pdf_properties() {
+        let fit = RayleighFit { location: 1.0, sigma: 0.5 };
+        assert_eq!(fit.pdf(0.5), 0.0); // below location
+        assert!(fit.pdf(fit.mode()) > fit.pdf(1.1));
+        assert!(fit.pdf(fit.mode()) > fit.pdf(3.0));
+        assert!((fit.cdf(fit.median()) - 0.5).abs() < 1e-12);
+        assert!(fit.cdf(100.0) > 0.999999);
+    }
+
+    #[test]
+    #[should_panic(expected = "no data")]
+    fn median_of_empty_panics() {
+        median(&[]);
+    }
+}

@@ -1,0 +1,45 @@
+//! Voltage-regulator-module (VRM) substrate: a buck converter with
+//! VID tracking and light-load pulse skipping.
+//!
+//! In the HPCA 2020 PMU side-channel paper, the leak source is the
+//! VRM: under heavy load it replenishes its output capacitor every
+//! switching period (strong EM spikes at `f_sw` and harmonics); under
+//! light load it skips most periods (phase shedding), so the spikes
+//! all but vanish. The processor's activity is thereby
+//! amplitude-modulated onto the switching emission.
+//!
+//! - [`vid`]: the discrete voltage grid ([`vid::VidTable`]) the CPU
+//!   requests rail voltages on,
+//! - [`buck`]: the converter model ([`buck::Buck`]) turning an
+//!   [`emsc_pmu::trace::PowerTrace`] into switching pulses, including
+//!   the period-randomisation countermeasure,
+//! - [`train`]: the [`train::SwitchingTrain`] pulse-train output.
+//!
+//! # Examples
+//!
+//! ```
+//! use emsc_pmu::{sim::Machine, workload::Program};
+//! use emsc_vrm::buck::{Buck, BuckConfig};
+//!
+//! let machine = Machine::intel_laptop();
+//! let program = Program::alternating(500e-6, 500e-6, 20, machine.nominal_ips());
+//! let trace = machine.run(&program, 1);
+//!
+//! let buck = Buck::new(BuckConfig::laptop(970e3));
+//! let train = buck.convert(&trace);
+//! // The VRM fired thousands of pulses over ~20 ms...
+//! assert!(train.pulses.len() > 5_000);
+//! // ...but far fewer than one per switching period, because the idle
+//! // halves are pulse-skipped.
+//! assert!(train.firing_fraction() < 0.9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod buck;
+pub mod train;
+pub mod vid;
+
+pub use buck::{Buck, BuckConfig, PeriodRandomization};
+pub use train::{Pulse, SwitchingTrain};

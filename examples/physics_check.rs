@@ -1,0 +1,90 @@
+//! Model validation: print the physical quantities the simulation is
+//! built on, next to what the paper's §II narrative predicts.
+//!
+//! ```text
+//! cargo run --release -p emsc-examples --example physics_check
+//! ```
+
+use emsc_core::laptop::Laptop;
+use emsc_emfield::path::Path;
+use emsc_emfield::scene::Scene;
+use emsc_pmu::energy::EnergyReport;
+use emsc_pmu::sim::Machine;
+use emsc_pmu::trace::{ActivityKind, PowerTrace};
+use emsc_pmu::workload::Program;
+use emsc_vrm::buck::{Buck, BuckConfig};
+
+fn main() {
+    println!("== VRM pulse skipping vs. load (§II) ==");
+    println!("{:>10} {:>16} {:>14}", "load (A)", "firing fraction", "pulse rate");
+    let buck = Buck::new(BuckConfig::laptop(970e3));
+    for load in [0.04, 0.1, 0.5, 2.0, 8.5] {
+        let mut t = PowerTrace::new();
+        t.push(5e-3, 0, 0, load, 1.1, ActivityKind::Work);
+        let train = buck.convert(&t);
+        println!(
+            "{:>10.2} {:>15.1}% {:>11.0} kHz",
+            load,
+            train.firing_fraction() * 100.0,
+            train.pulse_rate_hz() / 1e3
+        );
+    }
+    println!("(full-rate switching under load, deep skipping at idle — the OOK mechanism)\n");
+
+    println!("== Active/idle current contrast per laptop ==");
+    for laptop in Laptop::all() {
+        let m = laptop.machine();
+        let active = m.table.active_current_a(m.table.p0());
+        let idle = m
+            .table
+            .cstates
+            .last()
+            .map(|c| m.table.idle_current_a(*c))
+            .unwrap_or(0.0);
+        println!(
+            "{:<24} active {:>5.2} A, deep idle {:>5.3} A  ({:.0}x)",
+            laptop.model,
+            active,
+            idle,
+            active / idle
+        );
+    }
+    println!();
+
+    println!("== Path gains (near-field 1/r³, §IV-C) ==");
+    for (label, path) in [
+        ("coil probe, 10 cm", Path::near_field()),
+        ("loop, 1 m", Path::line_of_sight(1.0)),
+        ("loop, 1.5 m", Path::line_of_sight(1.5)),
+        ("loop, 2.5 m", Path::line_of_sight(2.5)),
+        ("loop, 1.5 m + wall", Path::through_wall()),
+    ] {
+        println!("{:<22} {:>7.1} dB", label, path.gain_db());
+    }
+    println!();
+
+    println!("== Link budget: bin SNR at 8 A modulation depth ==");
+    for (label, scene) in [
+        ("near field", Scene::near_field(970e3)),
+        ("1 m", Scene::line_of_sight(970e3, 1.0)),
+        ("2.5 m", Scene::line_of_sight(970e3, 2.5)),
+        ("through wall", Scene::through_wall(970e3)),
+    ] {
+        println!("{:<14} {:>6.1} dB (1024-point bin)", label, scene.bin_snr_db(8.0, 1024));
+    }
+    println!();
+
+    println!("== Energy cost of the Fig. 1 micro-benchmark (RAPL-style) ==");
+    let m = Machine::intel_laptop();
+    let p = Program::alternating(5e-3, 5e-3, 50, m.steady_state_ips());
+    let r = EnergyReport::from_trace(&m.run(&p, 1));
+    println!(
+        "mean {:.2} W, peak {:.2} W over {:.0} ms (work {:.2} J, idle {:.3} J, overhead {:.3} J)",
+        r.mean_w,
+        r.peak_w,
+        500.0,
+        r.work_j,
+        r.idle_j,
+        r.overhead_j
+    );
+}

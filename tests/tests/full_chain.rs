@@ -1,0 +1,186 @@
+//! Workspace integration tests: the complete side-channel system
+//! exercised end to end through the public API.
+
+use emsc_core::chain::{Chain, Setup};
+use emsc_core::covert_run::CovertScenario;
+use emsc_core::countermeasure::Countermeasure;
+use emsc_core::laptop::Laptop;
+
+#[test]
+fn secret_crosses_the_air_gap_at_near_field() {
+    let laptop = Laptop::dell_inspiron();
+    let chain = Chain::new(&laptop, Setup::NearField);
+    let scenario = CovertScenario::for_laptop(&laptop, chain);
+    let secret = b"the launch code is 0000";
+    let outcome = scenario.run(secret, 4_2);
+    assert!(
+        outcome.recovered(secret),
+        "payload lost: BER {:.4}, {} ins, {} del",
+        outcome.alignment.ber(),
+        outcome.alignment.insertions,
+        outcome.alignment.deletions
+    );
+}
+
+#[test]
+fn every_laptop_sustains_the_covert_channel() {
+    // The paper's core claim: the channel exists on all six laptops,
+    // regardless of vendor, OS and microarchitecture.
+    for (i, laptop) in Laptop::all().into_iter().enumerate() {
+        let chain = Chain::new(&laptop, Setup::NearField);
+        let scenario = CovertScenario::for_laptop(&laptop, chain);
+        let payload = b"cross-vendor";
+        let outcome = scenario.run(payload, 900 + i as u64);
+        assert!(
+            outcome.alignment.ber() < 0.06,
+            "{}: BER {}",
+            laptop.model,
+            outcome.alignment.ber()
+        );
+        // A single insertion/deletion shifts everything after it (the
+        // Hamming code only fixes substitutions — §IV-B4), so exact
+        // recovery is not guaranteed on every seed; the frame marker
+        // must still be found and indels must stay rare.
+        assert!(outcome.deframed.is_some(), "{}: frame marker lost", laptop.model);
+        assert!(
+            outcome.alignment.insertion_probability() < 0.05
+                && outcome.alignment.deletion_probability() < 0.05,
+            "{}: IP {} DP {}",
+            laptop.model,
+            outcome.alignment.insertion_probability(),
+            outcome.alignment.deletion_probability()
+        );
+    }
+}
+
+#[test]
+fn channel_quality_degrades_monotonically_with_distance() {
+    let laptop = Laptop::dell_inspiron();
+    let payload = b"distance sweep";
+    let mut energies = Vec::new();
+    for d in [1.0, 1.5, 2.5] {
+        let chain = Chain::new(&laptop, Setup::LineOfSight(d));
+        let scenario = CovertScenario::for_laptop(&laptop, chain);
+        let outcome = scenario.run(payload, 77);
+        // Mean received energy-signal level during the transfer.
+        let mean_energy: f64 =
+            outcome.report.energy.iter().sum::<f64>() / outcome.report.energy.len() as f64;
+        energies.push(mean_energy);
+    }
+    assert!(
+        energies[0] > energies[1] && energies[1] > energies[2],
+        "energy not monotone: {energies:?}"
+    );
+}
+
+#[test]
+fn disabling_both_power_state_families_kills_the_channel() {
+    let laptop = Laptop::dell_inspiron();
+    let payload = b"should never arrive";
+
+    let baseline = CovertScenario::for_laptop(&laptop, Chain::new(&laptop, Setup::NearField));
+    let ok = baseline.run(payload, 5);
+    assert!(ok.alignment.ber() < 0.05, "baseline BER {}", ok.alignment.ber());
+
+    let hardened_chain =
+        Countermeasure::DisableBoth.apply(Chain::new(&laptop, Setup::NearField));
+    let hardened = CovertScenario::for_laptop(&laptop, hardened_chain);
+    let dead = hardened.run(payload, 5);
+    assert!(
+        !dead.recovered(payload),
+        "channel must die with C- and P-states disabled"
+    );
+    // Alignment statistics are meaningless against garbage (edit
+    // distance finds spurious matches in any random stream), so test
+    // information content directly: the transmitted bits must align no
+    // better against the hardened capture than an unrelated random
+    // bitstring of the same length does.
+    let mut state = 0xDEAD_BEEFu64;
+    let control: Vec<u8> = (0..dead.tx_bits.len())
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state & 1) as u8
+        })
+        .collect();
+    let real_cost = {
+        let a = emsc_covert::align_semiglobal(&dead.tx_bits, &dead.report.bits);
+        a.substitutions + a.insertions + a.deletions
+    };
+    let control_cost = {
+        let a = emsc_covert::align_semiglobal(&control, &dead.report.bits);
+        a.substitutions + a.insertions + a.deletions
+    };
+    assert!(
+        real_cost as f64 > 0.8 * control_cost as f64,
+        "hardened capture still correlates with the payload: cost {real_cost} vs control {control_cost}"
+    );
+    // Sanity: the healthy baseline is far better than its control.
+    let ok_cost = {
+        let a = emsc_covert::align_semiglobal(&ok.tx_bits, &ok.report.bits);
+        a.substitutions + a.insertions + a.deletions
+    };
+    let ok_control_cost = {
+        let a = emsc_covert::align_semiglobal(&control[..ok.tx_bits.len().min(control.len())], &ok.report.bits);
+        a.substitutions + a.insertions + a.deletions
+    };
+    assert!(
+        (ok_cost as f64) < 0.2 * ok_control_cost as f64,
+        "baseline should beat its control: {ok_cost} vs {ok_control_cost}"
+    );
+}
+
+#[test]
+fn disabling_only_one_family_leaves_the_channel_alive() {
+    // §III: "to observe this side-channel, the processor needs to be
+    // able to switch between at least one high-power and at least one
+    // low-power state" — either C-states or P-states alone suffice.
+    let laptop = Laptop::dell_inspiron();
+    let payload = b"still leaking";
+    for cm in [Countermeasure::DisableCStates, Countermeasure::DisablePStates] {
+        let chain = cm.apply(Chain::new(&laptop, Setup::NearField));
+        let scenario = CovertScenario::for_laptop(&laptop, chain);
+        let outcome = scenario.run(payload, 6);
+        assert!(
+            outcome.alignment.ber() < 0.12,
+            "{}: BER {} — channel should survive",
+            cm.label(),
+            outcome.alignment.ber()
+        );
+    }
+}
+
+#[test]
+fn strong_shielding_degrades_the_channel() {
+    let laptop = Laptop::dell_inspiron();
+    let payload = b"attenuated";
+    let shielded_chain =
+        Countermeasure::Shielding { attenuation_db: 60.0 }.apply(Chain::new(&laptop, Setup::NearField));
+    let scenario = CovertScenario::for_laptop(&laptop, shielded_chain);
+    let outcome = scenario.run(payload, 8);
+    assert!(
+        !outcome.recovered(payload),
+        "60 dB of shielding should bury the signal"
+    );
+}
+
+#[test]
+fn vrm_randomization_raises_error_rate() {
+    let laptop = Laptop::dell_inspiron();
+    let payload = b"randomized vrm";
+    let base = CovertScenario::for_laptop(&laptop, Chain::new(&laptop, Setup::NearField))
+        .run(payload, 9)
+        .alignment
+        .ber();
+    let randomized_chain = Countermeasure::RandomizeVrm { spread: 0.45 }
+        .apply(Chain::new(&laptop, Setup::NearField));
+    let randomized = CovertScenario::for_laptop(&laptop, randomized_chain)
+        .run(payload, 9)
+        .alignment
+        .ber();
+    assert!(
+        randomized > base + 0.02,
+        "randomization should hurt: base {base}, randomized {randomized}"
+    );
+}
