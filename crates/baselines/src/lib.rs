@@ -168,19 +168,9 @@ pub fn powert() -> Baseline {
 
 /// All seven comparators, slowest first.
 pub fn all_baselines() -> Vec<Baseline> {
-    let mut v = vec![
-        thermal(),
-        acoustic_mesh(),
-        dfs(),
-        powert(),
-        airhopper(),
-        usbee(),
-        gsmem(),
-    ];
+    let mut v = vec![thermal(), acoustic_mesh(), dfs(), powert(), airhopper(), usbee(), gsmem()];
     v.sort_by(|a, b| {
-        a.max_rate_bps
-            .partial_cmp(&b.max_rate_bps)
-            .unwrap_or(std::cmp::Ordering::Equal)
+        a.max_rate_bps.partial_cmp(&b.max_rate_bps).unwrap_or(std::cmp::Ordering::Equal)
     });
     v
 }

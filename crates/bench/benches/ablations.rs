@@ -167,13 +167,38 @@ fn ablate_countermeasures(c: &mut Criterion) {
     let laptop = Laptop::dell_inspiron();
     let configs: Vec<(String, Chain)> = vec![
         ("baseline".into(), Chain::new(&laptop, Setup::NearField)),
-        (Countermeasure::DisableCStates.label(), Countermeasure::DisableCStates.apply(Chain::new(&laptop, Setup::NearField))),
-        (Countermeasure::DisablePStates.label(), Countermeasure::DisablePStates.apply(Chain::new(&laptop, Setup::NearField))),
-        (Countermeasure::DisableBoth.label(), Countermeasure::DisableBoth.apply(Chain::new(&laptop, Setup::NearField))),
-        (Countermeasure::RandomizeVrm { spread: 0.2 }.label(), Countermeasure::RandomizeVrm { spread: 0.2 }.apply(Chain::new(&laptop, Setup::NearField))),
-        (Countermeasure::RandomizeVrm { spread: 0.45 }.label(), Countermeasure::RandomizeVrm { spread: 0.45 }.apply(Chain::new(&laptop, Setup::NearField))),
-        (Countermeasure::Shielding { attenuation_db: 30.0 }.label(), Countermeasure::Shielding { attenuation_db: 30.0 }.apply(Chain::new(&laptop, Setup::NearField))),
-        (Countermeasure::Blinking { period_s: 1e-3, duty: 0.5 }.label(), Countermeasure::Blinking { period_s: 1e-3, duty: 0.5 }.apply(Chain::new(&laptop, Setup::NearField))),
+        (
+            Countermeasure::DisableCStates.label(),
+            Countermeasure::DisableCStates.apply(Chain::new(&laptop, Setup::NearField)),
+        ),
+        (
+            Countermeasure::DisablePStates.label(),
+            Countermeasure::DisablePStates.apply(Chain::new(&laptop, Setup::NearField)),
+        ),
+        (
+            Countermeasure::DisableBoth.label(),
+            Countermeasure::DisableBoth.apply(Chain::new(&laptop, Setup::NearField)),
+        ),
+        (
+            Countermeasure::RandomizeVrm { spread: 0.2 }.label(),
+            Countermeasure::RandomizeVrm { spread: 0.2 }
+                .apply(Chain::new(&laptop, Setup::NearField)),
+        ),
+        (
+            Countermeasure::RandomizeVrm { spread: 0.45 }.label(),
+            Countermeasure::RandomizeVrm { spread: 0.45 }
+                .apply(Chain::new(&laptop, Setup::NearField)),
+        ),
+        (
+            Countermeasure::Shielding { attenuation_db: 30.0 }.label(),
+            Countermeasure::Shielding { attenuation_db: 30.0 }
+                .apply(Chain::new(&laptop, Setup::NearField)),
+        ),
+        (
+            Countermeasure::Blinking { period_s: 1e-3, duty: 0.5 }.label(),
+            Countermeasure::Blinking { period_s: 1e-3, duty: 0.5 }
+                .apply(Chain::new(&laptop, Setup::NearField)),
+        ),
     ];
     for (label, chain) in configs {
         let s = CovertScenario::for_laptop(&laptop, chain);
@@ -215,15 +240,16 @@ fn ablate_goertzel(c: &mut Criterion) {
     let x: Vec<emsc_sdr::iq::Complex> = (0..n)
         .map(|i| emsc_sdr::iq::Complex::cis(2.0 * std::f64::consts::PI * 0.203 * i as f64))
         .collect();
-    println!("
-ablate_goertzel (energy-signal computation):");
+    println!(
+        "
+ablate_goertzel (energy-signal computation):"
+    );
     println!("  sliding DFT : every sample, decimated ×24 (receiver default)");
     println!("  Goertzel    : one value per 256-sample block, no overlap");
     let mut group = c.benchmark_group("ablate_goertzel");
     group.sample_size(20);
-    group.bench_function("sliding_dft", |b| {
-        b.iter(|| energy_signal(&x, 256, &[52, 104], 24).len())
-    });
+    group
+        .bench_function("sliding_dft", |b| b.iter(|| energy_signal(&x, 256, &[52, 104], 24).len()));
     group.bench_function("goertzel_blocks", |b| {
         b.iter(|| block_energies(&x, 256, &[52, 104]).len())
     });

@@ -19,9 +19,8 @@ fn bench_fft(c: &mut Criterion) {
     let mut group = c.benchmark_group("fft");
     for &n in &[256usize, 1024, 4096] {
         let plan = FftPlan::new(n);
-        let x: Vec<Complex> = (0..n)
-            .map(|i| Complex::new((i as f64 * 0.1).sin(), (i as f64 * 0.2).cos()))
-            .collect();
+        let x: Vec<Complex> =
+            (0..n).map(|i| Complex::new((i as f64 * 0.1).sin(), (i as f64 * 0.2).cos())).collect();
         group.throughput(Throughput::Elements(n as u64));
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| {
@@ -36,9 +35,8 @@ fn bench_fft(c: &mut Criterion) {
 
 fn bench_sliding_dft(c: &mut Criterion) {
     let n = 240_000; // 100 ms at 2.4 Msps
-    let x: Vec<Complex> = (0..n)
-        .map(|i| Complex::cis(2.0 * std::f64::consts::PI * 0.2 * i as f64))
-        .collect();
+    let x: Vec<Complex> =
+        (0..n).map(|i| Complex::cis(2.0 * std::f64::consts::PI * 0.2 * i as f64)).collect();
     let mut group = c.benchmark_group("sliding_dft");
     group.throughput(Throughput::Elements(n as u64));
     group.sample_size(20);
@@ -65,9 +63,7 @@ fn bench_buck(c: &mut Criterion) {
     let buck = Buck::new(BuckConfig::laptop(970e3));
     let mut group = c.benchmark_group("buck_converter");
     group.throughput(Throughput::Elements((trace.duration_s() * 970e3) as u64));
-    group.bench_function("convert_100ms_trace", |b| {
-        b.iter(|| buck.convert(&trace).pulses.len())
-    });
+    group.bench_function("convert_100ms_trace", |b| b.iter(|| buck.convert(&trace).pulses.len()));
     group.finish();
 }
 

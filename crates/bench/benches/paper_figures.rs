@@ -8,7 +8,7 @@ use std::time::Duration;
 use criterion::{criterion_group, criterion_main, Criterion};
 use emsc_core::experiments::covert_figs;
 use emsc_core::experiments::keylog_table::{render_table4, table4, KeylogScale};
-use emsc_core::experiments::spectral::{fig2, fig2_bios, fig11, render_bios, Scale};
+use emsc_core::experiments::spectral::{fig11, fig2, fig2_bios, render_bios, Scale};
 use emsc_core::experiments::tables::{fig9, render_fig9};
 
 fn bench_fig2(c: &mut Criterion) {
@@ -68,12 +68,5 @@ fn bench_fig11_table4(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(
-    figures,
-    bench_fig2,
-    bench_bios,
-    bench_fig4_to_8,
-    bench_fig9,
-    bench_fig11_table4
-);
+criterion_group!(figures, bench_fig2, bench_bios, bench_fig4_to_8, bench_fig9, bench_fig11_table4);
 criterion_main!(figures);

@@ -26,7 +26,10 @@ fn bench_table1(c: &mut Criterion) {
 
 fn bench_table2(c: &mut Criterion) {
     let rows = table2(scale(), 2020);
-    println!("\n{}", render_channel_rows("Table II (bench scale) — near-field covert channel", &rows));
+    println!(
+        "\n{}",
+        render_channel_rows("Table II (bench scale) — near-field covert channel", &rows)
+    );
 
     let laptop = Laptop::dell_inspiron();
     let chain = Chain::new(&laptop, Setup::NearField);
@@ -34,9 +37,7 @@ fn bench_table2(c: &mut Criterion) {
     let payload = bench_payload(8, 7);
     let mut group = c.benchmark_group("table2_near_field");
     group.sample_size(10).measurement_time(Duration::from_secs(8));
-    group.bench_function("covert_transfer_8_bytes", |b| {
-        b.iter(|| scenario.run(&payload, 7))
-    });
+    group.bench_function("covert_transfer_8_bytes", |b| b.iter(|| scenario.run(&payload, 7)));
     group.finish();
 }
 

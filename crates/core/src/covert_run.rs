@@ -100,11 +100,8 @@ impl CovertScenario {
 
         // Rate: on-air bits over the air time they actually took.
         let air_time = chain_run.trace.duration_s() - 2.0 * LEAD_SILENCE_S - WARMUP_S;
-        let transmission_rate_bps = if air_time > 0.0 {
-            tx_bits.len() as f64 / air_time
-        } else {
-            0.0
-        };
+        let transmission_rate_bps =
+            if air_time > 0.0 { tx_bits.len() as f64 / air_time } else { 0.0 };
 
         CovertOutcome { tx_bits, report, alignment, deframed, chain_run, transmission_rate_bps }
     }
@@ -164,11 +161,7 @@ mod tests {
         let chain = Chain::new(&laptop, Setup::NearField);
         let scenario = CovertScenario::for_laptop(&laptop, chain);
         let outcome = scenario.run(b"0123456789abcdef", 11);
-        assert!(
-            outcome.transmission_rate_bps > 2000.0,
-            "TR {}",
-            outcome.transmission_rate_bps
-        );
+        assert!(outcome.transmission_rate_bps > 2000.0, "TR {}", outcome.transmission_rate_bps);
     }
 
     #[test]

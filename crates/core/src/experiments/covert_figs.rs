@@ -3,6 +3,7 @@
 use emsc_covert::metrics::{align, Alignment};
 use emsc_covert::rx::RxReport;
 use emsc_pmu::noise::NoiseConfig;
+use emsc_runtime::par_invoke;
 use emsc_sdr::stats::{skewness, Histogram, RayleighFit};
 
 use crate::chain::{Chain, Setup};
@@ -117,11 +118,7 @@ impl Fig6 {
         );
         for (i, &d) in density.iter().enumerate() {
             let bar = (d / peak * 60.0).round() as usize;
-            s.push_str(&format!(
-                "{:7.0} µs | {}\n",
-                hist.bin_center(i) * 1e6,
-                "*".repeat(bar)
-            ));
+            s.push_str(&format!("{:7.0} µs | {}\n", hist.bin_center(i) * 1e6, "*".repeat(bar)));
         }
         s
     }
@@ -177,11 +174,12 @@ impl Fig7 {
         };
         for (i, &c) in counts.iter().enumerate() {
             let center = hist.bin_center(i);
-            let mark = if (center - self.threshold).abs() < (hist.bin_center(1) - hist.bin_center(0)) {
-                "<-- thr"
-            } else {
-                ""
-            };
+            let mark =
+                if (center - self.threshold).abs() < (hist.bin_center(1) - hist.bin_center(0)) {
+                    "<-- thr"
+                } else {
+                    ""
+                };
             s.push_str(&format!(
                 "{:9.1} | {} {}\n",
                 center,
@@ -243,24 +241,28 @@ impl Fig8 {
 /// visible even at the stream edges.
 pub fn fig8(seed: u64) -> Fig8 {
     let payload = pseudo_payload(24);
-    let normal = {
-        let scenario = standard_scenario();
-        let outcome = scenario.run(&payload, seed);
-        align(&outcome.tx_bits, &outcome.report.bits)
-    };
-    let stormy = {
-        let laptop = Laptop::dell_inspiron();
-        let mut chain = Chain::new(&laptop, Setup::NearField);
-        chain.machine.noise = NoiseConfig {
-            long_rate_hz: 120.0,
-            long_duration_s: 500e-6,
-            ..NoiseConfig::normal()
-        };
-        let scenario = CovertScenario::for_laptop(&laptop, chain);
-        let outcome = scenario.run(&payload, seed);
-        align(&outcome.tx_bits, &outcome.report.bits)
-    };
-    Fig8 { normal, stormy }
+    // The two arms are independent captures — run them concurrently.
+    let arms = par_invoke(vec![
+        Box::new(|| {
+            let scenario = standard_scenario();
+            let outcome = scenario.run(&payload, seed);
+            align(&outcome.tx_bits, &outcome.report.bits)
+        }) as Box<dyn Fn() -> Alignment + Send + Sync>,
+        Box::new(|| {
+            let laptop = Laptop::dell_inspiron();
+            let mut chain = Chain::new(&laptop, Setup::NearField);
+            chain.machine.noise = NoiseConfig {
+                long_rate_hz: 120.0,
+                long_duration_s: 500e-6,
+                ..NoiseConfig::normal()
+            };
+            let scenario = CovertScenario::for_laptop(&laptop, chain);
+            let outcome = scenario.run(&payload, seed);
+            align(&outcome.tx_bits, &outcome.report.bits)
+        }),
+    ]);
+    let mut arms = arms.into_iter();
+    Fig8 { normal: arms.next().unwrap(), stormy: arms.next().unwrap() }
 }
 
 #[cfg(test)]
@@ -308,9 +310,6 @@ mod tests {
         let f = fig8(1);
         let normal_indels = f.normal.insertions + f.normal.deletions;
         let stormy_indels = f.stormy.insertions + f.stormy.deletions;
-        assert!(
-            stormy_indels > normal_indels,
-            "storm {stormy_indels} vs normal {normal_indels}"
-        );
+        assert!(stormy_indels > normal_indels, "storm {stormy_indels} vs normal {normal_indels}");
     }
 }

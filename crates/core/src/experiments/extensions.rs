@@ -46,7 +46,9 @@ pub fn fingerprint_accuracy(visits_per_site: usize, seed: u64) -> FingerprintRes
     let labelled: Vec<LabeledVisit> = outcome
         .visits
         .iter()
-        .filter_map(|v| v.features.map(|features| LabeledVisit { label: v.label.clone(), features }))
+        .filter_map(|v| {
+            v.features.map(|features| LabeledVisit { label: v.label.clone(), features })
+        })
         .collect();
     let k = visits_per_site.saturating_sub(1).clamp(1, 3);
     let confusion = leave_one_out(&labelled, k);

@@ -1,5 +1,6 @@
 //! Table IV: keylogging accuracy at three distances.
 
+use emsc_runtime::par_map;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -95,13 +96,15 @@ pub fn table4_row(setup: Setup, label: &str, scale: KeylogScale, seed: u64) -> K
     }
 }
 
-/// Table IV: the three distances of §V-C.
+/// Table IV: the three distances of §V-C, measured concurrently (each
+/// row's chunked capture further parallelises when run alone).
 pub fn table4(scale: KeylogScale, seed: u64) -> Vec<KeylogRow> {
-    vec![
-        table4_row(Setup::NearField, "10 cm", scale, seed),
-        table4_row(Setup::LineOfSight(2.0), "2 m", scale, seed),
-        table4_row(Setup::ThroughWall, "1.5 m (with wall)", scale, seed),
-    ]
+    let settings: [(Setup, &str); 3] = [
+        (Setup::NearField, "10 cm"),
+        (Setup::LineOfSight(2.0), "2 m"),
+        (Setup::ThroughWall, "1.5 m (with wall)"),
+    ];
+    par_map(&settings, |&(setup, label)| table4_row(setup, label, scale, seed))
 }
 
 /// Renders Table IV.
@@ -149,8 +152,22 @@ mod tests {
     #[test]
     fn render_includes_all_rows() {
         let rows = vec![
-            KeylogRow { label: "10 cm".into(), tpr: 1.0, fpr: 0.03, precision: 0.71, recall: 1.0, keystrokes: 100 },
-            KeylogRow { label: "2 m".into(), tpr: 0.99, fpr: 0.018, precision: 0.70, recall: 1.0, keystrokes: 100 },
+            KeylogRow {
+                label: "10 cm".into(),
+                tpr: 1.0,
+                fpr: 0.03,
+                precision: 0.71,
+                recall: 1.0,
+                keystrokes: 100,
+            },
+            KeylogRow {
+                label: "2 m".into(),
+                tpr: 0.99,
+                fpr: 0.018,
+                precision: 0.70,
+                recall: 1.0,
+                keystrokes: 100,
+            },
         ];
         let s = render_table4(&rows);
         assert!(s.contains("10 cm") && s.contains("2 m"));

@@ -51,7 +51,9 @@ pub(crate) fn render_table(title: &str, header: &[&str], rows: &[Vec<String>]) -
         cells
             .iter()
             .enumerate()
-            .map(|(i, c)| format!(" {:<width$} ", c, width = widths.get(i).copied().unwrap_or(c.len())))
+            .map(|(i, c)| {
+                format!(" {:<width$} ", c, width = widths.get(i).copied().unwrap_or(c.len()))
+            })
             .collect::<Vec<_>>()
             .join("|")
     };

@@ -1,6 +1,7 @@
 //! Spectrogram experiments: Fig. 2, the §III BIOS sweep, and Fig. 11.
 
 use emsc_pmu::workload::Program;
+use emsc_runtime::par_map;
 use emsc_sdr::stats::quantile;
 use emsc_sdr::stft::{stft, Spectrogram, StftConfig};
 use emsc_sdr::window::Window;
@@ -78,7 +79,9 @@ pub fn fig2_on(chain: &Chain, f_sw: f64, scale: Scale, seed: u64) -> Fig2 {
     );
     let detected = spec
         .dominant_bin_in(run.capture.baseband(200e3), run.capture.baseband(1.2e6))
-        .map(|k| emsc_sdr::fft::bin_frequency(k, 1024, run.capture.sample_rate) + run.capture.center_freq)
+        .map(|k| {
+            emsc_sdr::fft::bin_frequency(k, 1024, run.capture.sample_rate) + run.capture.center_freq
+        })
         .unwrap_or(0.0);
     let contrast_at = |f_rf: f64| {
         let series = spec.band_energy(&[run.capture.baseband(f_rf)]);
@@ -128,20 +131,16 @@ pub fn fig2_bios(scale: Scale, seed: u64) -> Vec<BiosRow> {
             Countermeasure::DisableBoth.apply(Chain::new(&laptop, Setup::NearField)),
         ),
     ];
-    configs
-        .into_iter()
-        .map(|(config, chain)| {
-            let f = fig2_on(&chain, f_sw, scale, seed);
-            let series = f
-                .spectrogram
-                .band_energy(&[f_sw - chain.scene.synth.center_freq]);
-            BiosRow {
-                config,
-                spike_level: quantile(&series, 0.5),
-                contrast: f.spike_contrast,
-            }
-        })
-        .collect()
+    // Four independent captures — one pool cell each.
+    par_map(&configs, |(config, chain)| {
+        let f = fig2_on(chain, f_sw, scale, seed);
+        let series = f.spectrogram.band_energy(&[f_sw - chain.scene.synth.center_freq]);
+        BiosRow {
+            config: config.clone(),
+            spike_level: quantile(&series, 0.5),
+            contrast: f.spike_contrast,
+        }
+    })
 }
 
 /// Renders the BIOS sweep as a table.
@@ -151,7 +150,13 @@ pub fn render_bios(rows: &[BiosRow]) -> String {
         &["configuration", "median spike level", "contrast (q90/q10)"],
         &rows
             .iter()
-            .map(|r| vec![r.config.clone(), format!("{:.1}", r.spike_level), format!("{:.1}x", r.contrast)])
+            .map(|r| {
+                vec![
+                    r.config.clone(),
+                    format!("{:.1}", r.spike_level),
+                    format!("{:.1}x", r.contrast),
+                ]
+            })
             .collect::<Vec<_>>(),
     )
 }

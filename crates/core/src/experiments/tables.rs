@@ -8,6 +8,7 @@ use emsc_covert::tx::{Transmitter, TxConfig};
 use emsc_pmu::multicore::MultiCoreMachine;
 use emsc_pmu::noise::NoiseConfig;
 use emsc_pmu::workload::Program;
+use emsc_runtime::{par_invoke, par_map};
 
 use crate::chain::{Chain, Setup};
 use crate::covert_run::CovertScenario;
@@ -84,30 +85,56 @@ pub struct ChannelRow {
     pub recovery_rate: f64,
 }
 
-/// Averages `runs` covert transfers over a prepared scenario.
-pub fn measure_channel(
+/// Channel statistics of one averaging run (one grid cell).
+struct RunStats {
+    ber: f64,
+    tr_bps: f64,
+    ip: f64,
+    dp: f64,
+    recovered: bool,
+}
+
+/// One averaging run of a covert transfer — the independent unit the
+/// worker pool schedules. The seed arithmetic (`seed + run` for the
+/// payload, `seed + 1000·run` for the channel) is the same as the
+/// original serial loop, so a cell computes identical numbers no
+/// matter which worker picks it up.
+fn channel_cell(
     scenario: &CovertScenario,
-    label: &str,
-    scale: TableScale,
+    payload_bytes: usize,
     seed: u64,
-) -> ChannelRow {
+    run: usize,
+) -> RunStats {
+    let payload = pseudo_payload(payload_bytes, seed + run as u64);
+    let outcome = scenario.run(&payload, seed + 1000 * run as u64);
+    RunStats {
+        ber: outcome.alignment.ber(),
+        tr_bps: outcome.transmission_rate_bps,
+        ip: outcome.alignment.insertion_probability(),
+        dp: outcome.alignment.deletion_probability(),
+        recovered: outcome.recovered(&payload),
+    }
+}
+
+/// Reduces a row's run cells into the averaged row. Accumulation is
+/// serial and in run order, so the float sums match the pre-parallel
+/// implementation bit for bit.
+fn reduce_cells(label: &str, cells: &[RunStats]) -> ChannelRow {
     let mut ber = 0.0;
     let mut tr = 0.0;
     let mut ip = 0.0;
     let mut dp = 0.0;
     let mut recovered = 0usize;
-    for run in 0..scale.runs {
-        let payload = pseudo_payload(scale.payload_bytes, seed + run as u64);
-        let outcome = scenario.run(&payload, seed + 1000 * run as u64);
-        ber += outcome.alignment.ber();
-        tr += outcome.transmission_rate_bps;
-        ip += outcome.alignment.insertion_probability();
-        dp += outcome.alignment.deletion_probability();
-        if outcome.recovered(&payload) {
+    for c in cells {
+        ber += c.ber;
+        tr += c.tr_bps;
+        ip += c.ip;
+        dp += c.dp;
+        if c.recovered {
             recovered += 1;
         }
     }
-    let n = scale.runs.max(1) as f64;
+    let n = cells.len().max(1) as f64;
     ChannelRow {
         label: label.to_string(),
         ber: ber / n,
@@ -118,16 +145,49 @@ pub fn measure_channel(
     }
 }
 
-/// Table II: near-field channel quality for all six laptops.
+/// Averages `runs` covert transfers over a prepared scenario, fanning
+/// the runs across the worker pool.
+pub fn measure_channel(
+    scenario: &CovertScenario,
+    label: &str,
+    scale: TableScale,
+    seed: u64,
+) -> ChannelRow {
+    let runs: Vec<usize> = (0..scale.runs).collect();
+    let cells = par_map(&runs, |&run| channel_cell(scenario, scale.payload_bytes, seed, run));
+    reduce_cells(label, &cells)
+}
+
+/// Measures several scenarios at once by flattening the full
+/// (scenario × run) grid into one [`par_map`], so the pool stays busy
+/// even when rows have unequal cost. Rows come back in input order.
+pub fn measure_channel_grid(
+    scenarios: &[(String, CovertScenario)],
+    scale: TableScale,
+    seed: u64,
+) -> Vec<ChannelRow> {
+    let cells: Vec<(usize, usize)> =
+        (0..scenarios.len()).flat_map(|i| (0..scale.runs).map(move |r| (i, r))).collect();
+    let stats =
+        par_map(&cells, |&(i, run)| channel_cell(&scenarios[i].1, scale.payload_bytes, seed, run));
+    scenarios
+        .iter()
+        .enumerate()
+        .map(|(i, (label, _))| reduce_cells(label, &stats[i * scale.runs..(i + 1) * scale.runs]))
+        .collect()
+}
+
+/// Table II: near-field channel quality for all six laptops. The
+/// 6 laptops × `scale.runs` cells all run concurrently.
 pub fn table2(scale: TableScale, seed: u64) -> Vec<ChannelRow> {
-    Laptop::all()
+    let scenarios: Vec<(String, CovertScenario)> = Laptop::all()
         .iter()
         .map(|laptop| {
             let chain = Chain::new(laptop, Setup::NearField);
-            let scenario = CovertScenario::for_laptop(laptop, chain);
-            measure_channel(&scenario, laptop.model, scale, seed)
+            (laptop.model.to_string(), CovertScenario::for_laptop(laptop, chain))
         })
-        .collect()
+        .collect();
+    measure_channel_grid(&scenarios, scale, seed)
 }
 
 /// Renders channel rows in the Table II/III format.
@@ -155,11 +215,9 @@ pub fn render_channel_rows(title: &str, rows: &[ChannelRow]) -> String {
 /// row after backing the rate off (longer sleep period).
 pub fn table2_background(scale: TableScale, seed: u64) -> Vec<ChannelRow> {
     let laptop = Laptop::dell_inspiron();
-    let mut rows = Vec::new();
 
     let baseline_chain = Chain::new(&laptop, Setup::NearField);
     let baseline = CovertScenario::for_laptop(&laptop, baseline_chain);
-    rows.push(measure_channel(&baseline, "quiet system", scale, seed));
 
     let busy_chain = {
         let mut c = Chain::new(&laptop, Setup::NearField);
@@ -167,7 +225,6 @@ pub fn table2_background(scale: TableScale, seed: u64) -> Vec<ChannelRow> {
         c
     };
     let stressed = CovertScenario::for_laptop(&laptop, busy_chain.clone());
-    rows.push(measure_channel(&stressed, "heavy background, same rate", scale, seed));
 
     // Back the rate off ~15 % (the paper's average reduction) by
     // stretching both phases.
@@ -180,36 +237,53 @@ pub fn table2_background(scale: TableScale, seed: u64) -> Vec<ChannelRow> {
     let expected = slow_tx.expected_bit_period_on(&busy_chain.machine);
     let rx = emsc_covert::rx::RxConfig::new(busy_chain.switching_freq_hz(), expected);
     let backed_off = CovertScenario { chain: busy_chain, tx: slow_tx, rx };
-    rows.push(measure_channel(&backed_off, "heavy background, rate backed off", scale, seed));
 
-    // The realistic variant: the hog runs *concurrently on another
-    // core* of the shared voltage rail (the paper's laptops are
-    // multi-core), not time-sliced into the transmitter's sleeps.
-    rows.push(multicore_background_row(
-        &laptop,
-        1.0,
-        "hog on another core, same rate",
-        scale,
-        seed,
-    ));
-    rows.push(multicore_background_row(
-        &laptop,
-        1.18,
-        "hog on another core, rate backed off",
-        scale,
-        seed,
-    ));
-    rows
+    // The last two rows are the realistic variant: the hog runs
+    // *concurrently on another core* of the shared voltage rail (the
+    // paper's laptops are multi-core), not time-sliced into the
+    // transmitter's sleeps. All five rows × `scale.runs` cells are
+    // flattened into one fan-out so the pool never idles between rows.
+    let scenario_rows: [(&str, &CovertScenario); 3] = [
+        ("quiet system", &baseline),
+        ("heavy background, same rate", &stressed),
+        ("heavy background, rate backed off", &backed_off),
+    ];
+    let hog_rows: [(&str, f64); 2] =
+        [("hog on another core, same rate", 1.0), ("hog on another core, rate backed off", 1.18)];
+
+    let mut cells: Vec<Box<dyn Fn() -> RunStats + Send + Sync>> = Vec::new();
+    for &(_, scenario) in &scenario_rows {
+        for run in 0..scale.runs {
+            cells.push(Box::new(move || channel_cell(scenario, scale.payload_bytes, seed, run)));
+        }
+    }
+    for &(_, stretch) in &hog_rows {
+        let laptop = &laptop;
+        for run in 0..scale.runs {
+            cells.push(Box::new(move || {
+                multicore_background_cell(laptop, stretch, scale.payload_bytes, seed, run)
+            }));
+        }
+    }
+    let stats = par_invoke(cells);
+
+    let labels = scenario_rows.iter().map(|&(l, _)| l).chain(hog_rows.iter().map(|&(l, _)| l));
+    labels
+        .enumerate()
+        .map(|(i, label)| reduce_cells(label, &stats[i * scale.runs..(i + 1) * scale.runs]))
+        .collect()
 }
 
-/// One §IV-C2 row with the CPU hog on a second core.
-fn multicore_background_row(
+/// One averaging run of the §IV-C2 hog-on-another-core experiment.
+/// The chain/transmitter setup is rebuilt per cell — it is pure
+/// configuration, deterministic and cheap next to the capture itself.
+fn multicore_background_cell(
     laptop: &Laptop,
     stretch: f64,
-    label: &str,
-    scale: TableScale,
+    payload_bytes: usize,
     seed: u64,
-) -> ChannelRow {
+    run: usize,
+) -> RunStats {
     let chain = Chain::new(laptop, Setup::NearField);
     let tx = TxConfig::calibrated_with_overhead(
         &chain.machine,
@@ -226,47 +300,35 @@ fn multicore_background_row(
     };
     let package = MultiCoreMachine::new(chain.machine.clone(), 2);
 
-    let mut ber = 0.0;
-    let mut tr = 0.0;
-    let mut ip = 0.0;
-    let mut dp = 0.0;
-    let mut recovered = 0usize;
-    for run in 0..scale.runs {
-        let payload = pseudo_payload(scale.payload_bytes, seed + run as u64);
-        let transmitter = Transmitter::new(tx);
-        let tx_bits = transmitter.on_air_bits(&payload);
-        let mut program = Program::new();
-        program.sleep(2e-3);
-        program.busy(chain.machine.iterations_for_duration(20e-3));
-        program.extend(transmitter.program_for_bits(&tx_bits).ops().iter().copied());
-        program.sleep(2e-3);
-        let duration = program.nominal_duration_s(chain.machine.steady_state_ips()) * 1.4;
-        // A resource-intensive hog: ~97 % duty (10 ms of work, a
-        // 0.3 ms scheduler breather).
-        let hog = Program::alternating(10e-3, 0.3e-3, (duration / 10.3e-3).ceil() as usize, chain.machine.steady_state_ips());
-        let trace = package.run(&[program, hog], seed + 1000 * run as u64);
-        let chain_run = chain.run_trace(trace, seed + 1000 * run as u64);
-        let report = Receiver::new(rx_cfg.clone()).demodulate(&chain_run.capture);
-        let alignment = align_semiglobal(&tx_bits, &report.bits);
-        let air = chain_run.trace.duration_s();
-        ber += alignment.ber();
-        ip += alignment.insertion_probability();
-        dp += alignment.deletion_probability();
-        tr += tx_bits.len() as f64 / (air - 24e-3).max(1e-6);
-        if emsc_covert::frame::deframe(&report.bits, tx.frame, 1)
-            .is_some_and(|d| d.payload == payload)
-        {
-            recovered += 1;
-        }
-    }
-    let n = scale.runs.max(1) as f64;
-    ChannelRow {
-        label: label.to_string(),
-        ber: ber / n,
-        tr_bps: tr / n,
-        ip: ip / n,
-        dp: dp / n,
-        recovery_rate: recovered as f64 / n,
+    let payload = pseudo_payload(payload_bytes, seed + run as u64);
+    let transmitter = Transmitter::new(tx);
+    let tx_bits = transmitter.on_air_bits(&payload);
+    let mut program = Program::new();
+    program.sleep(2e-3);
+    program.busy(chain.machine.iterations_for_duration(20e-3));
+    program.extend(transmitter.program_for_bits(&tx_bits).ops().iter().copied());
+    program.sleep(2e-3);
+    let duration = program.nominal_duration_s(chain.machine.steady_state_ips()) * 1.4;
+    // A resource-intensive hog: ~97 % duty (10 ms of work, a
+    // 0.3 ms scheduler breather).
+    let hog = Program::alternating(
+        10e-3,
+        0.3e-3,
+        (duration / 10.3e-3).ceil() as usize,
+        chain.machine.steady_state_ips(),
+    );
+    let trace = package.run(&[program, hog], seed + 1000 * run as u64);
+    let chain_run = chain.run_trace(trace, seed + 1000 * run as u64);
+    let report = Receiver::new(rx_cfg).demodulate(&chain_run.capture);
+    let alignment = align_semiglobal(&tx_bits, &report.bits);
+    let air = chain_run.trace.duration_s();
+    RunStats {
+        ber: alignment.ber(),
+        tr_bps: tx_bits.len() as f64 / (air - 24e-3).max(1e-6),
+        ip: alignment.insertion_probability(),
+        dp: alignment.deletion_probability(),
+        recovered: emsc_covert::frame::deframe(&report.bits, tx.frame, 1)
+            .is_some_and(|d| d.payload == payload),
     }
 }
 
@@ -283,7 +345,7 @@ pub fn table3(scale: TableScale, seed: u64) -> Vec<ChannelRow> {
         (1.5, 2.8, "1.5 m"),
         (2.5, 3.75, "2.5 m"),
     ];
-    settings
+    let scenarios: Vec<(String, CovertScenario)> = settings
         .iter()
         .map(|&(d, stretch, label)| {
             let chain = Chain::new(&laptop, Setup::LineOfSight(d));
@@ -295,10 +357,10 @@ pub fn table3(scale: TableScale, seed: u64) -> Vec<ChannelRow> {
             );
             let expected = tx.expected_bit_period_on(&chain.machine);
             let rx = emsc_covert::rx::RxConfig::new(chain.switching_freq_hz(), expected);
-            let scenario = CovertScenario { chain, tx, rx };
-            measure_channel(&scenario, label, scale, seed)
+            (label.to_string(), CovertScenario { chain, tx, rx })
         })
-        .collect()
+        .collect();
+    measure_channel_grid(&scenarios, scale, seed)
 }
 
 /// Fig. 10 / §IV-C3: the through-the-wall NLoS measurement, with the
@@ -328,14 +390,20 @@ pub fn fig9(measured_bps: f64) -> (Vec<Baseline>, f64) {
 
 /// Renders Fig. 9 as a log-scale ASCII bar chart.
 pub fn render_fig9(baselines: &[Baseline], measured_bps: f64) -> String {
-    let mut s = String::from("Fig. 9 — transmission rate vs. prior physical covert channels (log scale)\n");
+    let mut s =
+        String::from("Fig. 9 — transmission rate vs. prior physical covert channels (log scale)\n");
     let max_log = measured_bps.log10();
     let bar = |rate: f64| {
         let len = ((rate.log10() / max_log) * 56.0).max(1.0) as usize;
         "#".repeat(len)
     };
     for b in baselines {
-        s.push_str(&format!("{:>10} | {} {:.0} bps\n", b.name, bar(b.max_rate_bps), b.max_rate_bps));
+        s.push_str(&format!(
+            "{:>10} | {} {:.0} bps\n",
+            b.name,
+            bar(b.max_rate_bps),
+            b.max_rate_bps
+        ));
     }
     s.push_str(&format!("{:>10} | {} {:.0} bps\n", "this work", bar(measured_bps), measured_bps));
     let fastest = baselines.last().map(|b| b.max_rate_bps).unwrap_or(1.0);
@@ -365,10 +433,8 @@ mod tests {
             .iter()
             .map(|m| by_label(m).tr_bps)
             .fold(f64::INFINITY, f64::min);
-        let win_max = ["Precision", "Sony"]
-            .iter()
-            .map(|m| by_label(m).tr_bps)
-            .fold(0.0f64, f64::max);
+        let win_max =
+            ["Precision", "Sony"].iter().map(|m| by_label(m).tr_bps).fold(0.0f64, f64::max);
         assert!(unix_min > 2.0 * win_max, "unix {unix_min} vs windows {win_max}");
         // All BERs in the paper's band (≤ ~3 %, give slack for quick scale).
         for r in &rows {

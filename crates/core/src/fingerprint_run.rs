@@ -88,15 +88,18 @@ impl FingerprintScenario {
     }
 
     /// Observes `visits_per_site` visits to every site and evaluates
-    /// leave-one-out classification accuracy.
+    /// leave-one-out classification accuracy. The (site × visit) grid
+    /// fans out across the worker pool; each visit's seed depends only
+    /// on its grid position, so the outcome is thread-count
+    /// independent.
     pub fn run(&self, visits_per_site: usize, seed: u64) -> FingerprintOutcome {
-        let mut visits = Vec::with_capacity(self.sites.len() * visits_per_site);
-        for (si, site) in self.sites.iter().enumerate() {
-            for v in 0..visits_per_site {
-                let s = seed ^ ((si as u64) << 32) ^ ((v as u64) << 8);
-                visits.push(self.observe_visit(site, s));
-            }
-        }
+        let grid: Vec<(usize, u64)> = (0..self.sites.len())
+            .flat_map(|si| (0..visits_per_site as u64).map(move |v| (si, v)))
+            .collect();
+        let visits = emsc_runtime::par_map(&grid, |&(si, v)| {
+            let s = seed ^ ((si as u64) << 32) ^ (v << 8);
+            self.observe_visit(&self.sites[si], s)
+        });
         let labelled: Vec<LabeledVisit> = visits
             .iter()
             .filter_map(|v| {
@@ -107,11 +110,7 @@ impl FingerprintScenario {
         // out systematically votes for the other class on small sets.
         let k = (visits_per_site.saturating_sub(1)).clamp(1, 3);
         let accuracy = leave_one_out_accuracy(&labelled, k);
-        FingerprintOutcome {
-            visits,
-            accuracy,
-            chance: 1.0 / self.sites.len().max(1) as f64,
-        }
+        FingerprintOutcome { visits, accuracy, chance: 1.0 / self.sites.len().max(1) as f64 }
     }
 }
 

@@ -1,7 +1,9 @@
 //! Keylogging scenario runner: type text, record EM, detect, score.
 
 use emsc_keylog::burst::BurstModel;
-use emsc_keylog::detect::{detected_times, score_detections, DetectionReport, DetectionScore, Detector, DetectorConfig};
+use emsc_keylog::detect::{
+    detected_times, score_detections, DetectionReport, DetectionScore, Detector, DetectorConfig,
+};
 use emsc_keylog::typist::{Keystroke, Typist};
 use emsc_keylog::words::{group_words, score_words, word_lengths, WordScore};
 use emsc_pmu::sim::ExternalEvent;
@@ -50,12 +52,7 @@ impl KeylogScenario {
     /// detector tuned to the chain's VRM band.
     pub fn standard(chain: Chain) -> Self {
         let detector = DetectorConfig::new(chain.switching_freq_hz());
-        KeylogScenario {
-            chain,
-            typist: Typist::default(),
-            bursts: BurstModel::browser(),
-            detector,
-        }
+        KeylogScenario { chain, typist: Typist::default(), bursts: BurstModel::browser(), detector }
     }
 
     /// Types `text` while the capture runs, then detects and scores.
@@ -86,13 +83,17 @@ impl KeylogScenario {
     /// the result matches a monolithic run up to chunk-boundary
     /// alignment. Returns the outcome *without* the chain intermediates
     /// (they would be the gigabytes we avoided).
+    ///
+    /// Each chunk's seed is `seed ^ (chunk_idx << 17)` — a function of
+    /// the chunk's *position*, not of execution order — so the chunks
+    /// are independent and fan out across the worker pool while the
+    /// concatenated energy series stays bit-identical to a serial run.
     pub fn run_chunked(&self, text: &str, seed: u64, chunk_s: f64) -> ChunkedKeylogOutcome {
         let mut rng = StdRng::seed_from_u64(seed);
         let keystrokes = self.typist.type_text(text, IDLE_MARGIN_S, &mut rng);
         let end = keystrokes.last().map_or(IDLE_MARGIN_S, |k| k.release_s) + IDLE_MARGIN_S;
         let events = self.bursts.events_for(&keystrokes, end, &mut rng);
 
-        let detector = Detector::new(self.detector.clone());
         let fs = self.chain.scene.synth.sample_rate;
         let window = self.detector.window_samples;
         // Chunk length: a whole number of detector windows, so the
@@ -101,10 +102,10 @@ impl KeylogScenario {
         let chunk_samples = windows_per_chunk * window;
         let chunk_dur = chunk_samples as f64 / fs;
 
-        let mut energies = Vec::new();
-        let mut t0 = 0.0;
-        let mut chunk_idx = 0u64;
-        while t0 < end {
+        let n_chunks = (end / chunk_dur).ceil().max(1.0) as u64;
+        let chunk_ids: Vec<u64> = (0..n_chunks).collect();
+        let chunk_energies = emsc_runtime::par_map(&chunk_ids, |&chunk_idx| {
+            let t0 = chunk_idx as f64 * chunk_dur;
             let t1 = (t0 + chunk_dur).min(end);
             // Events that *start* in this chunk, rebased to its origin.
             let chunk_events: Vec<ExternalEvent> = events
@@ -114,11 +115,11 @@ impl KeylogScenario {
                 .collect();
             let mut run = self.chain.run_events(chunk_dur, &chunk_events, seed ^ (chunk_idx << 17));
             run.capture.samples.truncate(chunk_samples);
-            energies.extend(detector.window_energies(&run.capture));
-            t0 += chunk_dur;
-            chunk_idx += 1;
-        }
+            Detector::new(self.detector.clone()).window_energies(&run.capture)
+        });
+        let energies: Vec<f64> = chunk_energies.into_iter().flatten().collect();
 
+        let detector = Detector::new(self.detector.clone());
         let window_s = window as f64 / fs;
         let detection = detector.detect_from_energies(energies, window_s);
         let truth: Vec<f64> = keystrokes.iter().map(|k| k.press_s).collect();

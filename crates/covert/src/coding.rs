@@ -86,9 +86,7 @@ pub fn bytes_to_bits(bytes: &[u8]) -> Vec<u8> {
 /// Converts an MSB-first bit vector back to bytes (trailing partial
 /// bytes are dropped).
 pub fn bits_to_bytes(bits: &[u8]) -> Vec<u8> {
-    bits.chunks_exact(8)
-        .map(|c| c.iter().fold(0u8, |acc, &b| (acc << 1) | (b & 1)))
-        .collect()
+    bits.chunks_exact(8).map(|c| c.iter().fold(0u8, |acc, &b| (acc << 1) | (b & 1))).collect()
 }
 
 #[cfg(test)]

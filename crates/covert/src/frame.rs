@@ -138,17 +138,9 @@ pub fn deframe(received: &[u8], config: FrameConfig, max_marker_errors: usize) -
         return None;
     }
     let declared = u16::from_be_bytes([header[0], header[1]]) as usize;
-    let body_span = if config.parity {
-        declared * 8 / 4 * 7
-    } else {
-        declared * 8
-    };
+    let body_span = if config.parity { declared * 8 / 4 * 7 } else { declared * 8 };
     let rest = &body[len_span..(len_span + body_span).min(body.len())];
-    let (bits, corrections) = if config.parity {
-        decode_bits(rest)
-    } else {
-        (rest.to_vec(), 0)
-    };
+    let (bits, corrections) = if config.parity { decode_bits(rest) } else { (rest.to_vec(), 0) };
     let mut bytes = bits_to_bytes(&bits);
     bytes.truncate(declared);
     Some(Deframed { payload: bytes, payload_start, corrections: corrections + header_corrections })
@@ -200,7 +192,10 @@ mod tests {
         let mut bits = frame_payload(payload, cfg);
         let marker_at = cfg.sync_len + cfg.zeros_len;
         bits[marker_at + 3] ^= 1;
-        assert!(deframe(&bits, cfg, 0).is_none() || deframe(&bits, cfg, 0).unwrap().payload != payload.to_vec());
+        assert!(
+            deframe(&bits, cfg, 0).is_none()
+                || deframe(&bits, cfg, 0).unwrap().payload != payload.to_vec()
+        );
         let out = deframe(&bits, cfg, 1).expect("tolerant deframe");
         assert_eq!(out.payload, payload.to_vec());
     }
@@ -260,9 +255,7 @@ mod tests {
         // always produce ≥2 mismatches, so a 1-error-tolerant search
         // cannot lock onto the header.
         let cfg = FrameConfig::default();
-        let header: Vec<u8> = frame_payload(&[], cfg)
-            [..cfg.sync_len + cfg.zeros_len]
-            .to_vec();
+        let header: Vec<u8> = frame_payload(&[], cfg)[..cfg.sync_len + cfg.zeros_len].to_vec();
         for pos in 0..=header.len() - START_MARKER.len() {
             let errors = header[pos..pos + START_MARKER.len()]
                 .iter()

@@ -106,11 +106,7 @@ mod tests {
         let y = jittered_energy(&bits, 40, 0.25);
         let out = matched_filter_demodulate(&y, 1.0, 40.0);
         let compare = bits.len().min(out.len());
-        let errors = bits[..compare]
-            .iter()
-            .zip(&out[..compare])
-            .filter(|(a, b)| a != b)
-            .count();
+        let errors = bits[..compare].iter().zip(&out[..compare]).filter(|(a, b)| a != b).count();
         let ber = errors as f64 / compare as f64;
         assert!(ber > 0.15, "matched filter unexpectedly robust: BER {ber}");
     }

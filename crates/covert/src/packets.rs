@@ -101,8 +101,7 @@ pub fn depacketize(
         match deframe(&received[pos..], config.frame, 1) {
             Some(d) if !d.payload.is_empty() => {
                 let seq = d.payload[0];
-                let plausible =
-                    expected_packets.is_none_or(|n| (seq as usize) < n);
+                let plausible = expected_packets.is_none_or(|n| (seq as usize) < n);
                 if plausible && !packets.iter().any(|p| p.seq == seq) {
                     packets.push(RecoveredPacket {
                         seq,

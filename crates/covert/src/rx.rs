@@ -150,11 +150,8 @@ impl RxReport {
 pub fn find_switching_frequency(capture: &Capture, lo_hz: f64, hi_hz: f64) -> Option<f64> {
     use emsc_sdr::stft::{stft, StftConfig};
     use emsc_sdr::window::Window;
-    let spec = stft(
-        &capture.samples,
-        capture.sample_rate,
-        &StftConfig::new(1024, 4096, Window::Hann),
-    );
+    let spec =
+        stft(&capture.samples, capture.sample_rate, &StftConfig::new(1024, 4096, Window::Hann));
     let bin = spec.dominant_bin_in(capture.baseband(lo_hz), capture.baseband(hi_hz))?;
     Some(emsc_sdr::fft::bin_frequency(bin, 1024, capture.sample_rate) + capture.center_freq)
 }
@@ -249,8 +246,8 @@ impl Receiver {
         let energy_raw = energy_signal(&capture.samples, cfg.fft_size, &bins, cfg.decimation);
         let energy = moving_average(&energy_raw, 3);
         // Plausible covert bit periods: 50 µs – 5 ms.
-        let estimated = estimate_bit_period(&energy, dt, 50e-6, 5e-3)
-            .unwrap_or(cfg.expected_bit_period_s);
+        let estimated =
+            estimate_bit_period(&energy, dt, 50e-6, 5e-3).unwrap_or(cfg.expected_bit_period_s);
         let tuned = Receiver::new(RxConfig { expected_bit_period_s: estimated, ..cfg.clone() });
         tuned.demodulate(capture)
     }
@@ -276,14 +273,13 @@ impl Receiver {
         let positive: Vec<f64> = edge_response.iter().map(|&v| v.max(0.0)).collect();
         let robust_max = quantile(&positive, 0.98).max(1e-30);
         let min_dist = (expected_bit * 0.55).round() as usize;
-        let peaks = find_peaks(&edge_response, cfg.peak_threshold_frac * robust_max, min_dist.max(1));
+        let peaks =
+            find_peaks(&edge_response, cfg.peak_threshold_frac * robust_max, min_dist.max(1));
         let raw_starts: Vec<usize> = peaks.iter().map(|p| p.index).collect();
 
         // Stage 3: timing from the inter-start distance distribution.
-        let mut distances_s: Vec<f64> = raw_starts
-            .windows(2)
-            .map(|w| (w[1] - w[0]) as f64 * dt)
-            .collect();
+        let mut distances_s: Vec<f64> =
+            raw_starts.windows(2).map(|w| (w[1] - w[0]) as f64 * dt).collect();
         // Two-pass period recovery: the expected-period prior is only
         // approximate (jitter and wake latency lengthen real bits), so
         // first take the median over a generous window around the
@@ -291,11 +287,8 @@ impl Receiver {
         // estimate. Multi-bit gaps (missed starts) are excluded both
         // times so they cannot bias the median upward.
         let median_in = |lo: f64, hi: f64, fallback: f64| {
-            let kept: Vec<f64> = distances_s
-                .iter()
-                .copied()
-                .filter(|&d| d >= lo && d <= hi)
-                .collect();
+            let kept: Vec<f64> =
+                distances_s.iter().copied().filter(|&d| d >= lo && d <= hi).collect();
             if kept.is_empty() {
                 fallback
             } else {
@@ -419,12 +412,11 @@ fn fill_gaps(
                 // predicted position.
                 let lo = nominal.saturating_sub(search).max(w[0] + 1);
                 let hi = (nominal + search).min(w[1].saturating_sub(1));
-                let best = (lo..=hi.min(edge_response.len().saturating_sub(1)))
-                    .max_by(|&a, &b| {
-                        edge_response[a]
-                            .partial_cmp(&edge_response[b])
-                            .unwrap_or(std::cmp::Ordering::Equal)
-                    });
+                let best = (lo..=hi.min(edge_response.len().saturating_sub(1))).max_by(|&a, &b| {
+                    edge_response[a]
+                        .partial_cmp(&edge_response[b])
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                });
                 if let Some(idx) = best {
                     if edge_response[idx] >= low_bar {
                         out.push(idx);
@@ -521,11 +513,7 @@ mod tests {
         let bits: Vec<u8> = (0..64).map(|i| (i % 3 != 0) as u8).collect();
         let cap = ook_capture(&bits, 400e-6, 2.4e6, -0.4e6, 1.0, 0.02);
         let report = test_receiver(400e-6).demodulate(&cap);
-        assert!(
-            (report.bit_period_s - 400e-6).abs() < 40e-6,
-            "period {}",
-            report.bit_period_s
-        );
+        assert!((report.bit_period_s - 400e-6).abs() < 40e-6, "period {}", report.bit_period_s);
         assert!((report.transmission_rate_bps() - 2500.0).abs() < 300.0);
     }
 
@@ -625,7 +613,8 @@ mod tests {
             cfg.fft_size,
             cap.sample_rate,
         )];
-        let energy = emsc_sdr::sliding::energy_signal(&cap.samples, cfg.fft_size, &bins, cfg.decimation);
+        let energy =
+            emsc_sdr::sliding::energy_signal(&cap.samples, cfg.fft_size, &bins, cfg.decimation);
         let dt = cfg.decimation as f64 / cap.sample_rate;
         let est = estimate_bit_period(&energy, dt, 50e-6, 5e-3).expect("periodicity");
         assert!((est - 400e-6).abs() < 50e-6, "estimated {est}");

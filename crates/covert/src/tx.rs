@@ -87,7 +87,8 @@ impl TxConfig {
     /// of the `1` (loop + sleep) and `0` (2 × sleep) durations, given
     /// the machine's iteration rate.
     pub fn nominal_bit_period_s(&self, ips: f64) -> f64 {
-        let one = (self.loop_iterations + self.overhead_iterations) as f64 / ips + self.sleep_period_s;
+        let one =
+            (self.loop_iterations + self.overhead_iterations) as f64 / ips + self.sleep_period_s;
         let zero = self.overhead_iterations as f64 / ips + 2.0 * self.sleep_period_s;
         0.5 * (one + zero)
     }
@@ -172,7 +173,9 @@ mod tests {
         assert_eq!(p.ops().len(), 3);
         assert!(matches!(p.ops()[0], Op::Busy { iterations } if iterations == 24_000));
         assert!(matches!(p.ops()[1], Op::Busy { iterations } if iterations == 300_000));
-        assert!(matches!(p.ops()[2], Op::Sleep { duration_s } if (duration_s - 100e-6).abs() < 1e-12));
+        assert!(
+            matches!(p.ops()[2], Op::Sleep { duration_s } if (duration_s - 100e-6).abs() < 1e-12)
+        );
     }
 
     #[test]
@@ -181,7 +184,9 @@ mod tests {
         let p = tx.program_for_bits(&[0]);
         assert_eq!(p.ops().len(), 2);
         assert!(matches!(p.ops()[0], Op::Busy { iterations } if iterations == 24_000));
-        assert!(matches!(p.ops()[1], Op::Sleep { duration_s } if (duration_s - 200e-6).abs() < 1e-12));
+        assert!(
+            matches!(p.ops()[1], Op::Sleep { duration_s } if (duration_s - 200e-6).abs() < 1e-12)
+        );
     }
 
     #[test]

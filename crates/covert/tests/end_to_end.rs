@@ -25,7 +25,8 @@ fn transmit_and_receive(payload: &[u8], seed: u64) -> (Vec<u8>, emsc_covert::rx:
     let train = Buck::new(BuckConfig::laptop(F_SW)).convert(&trace);
     let scene = Scene::near_field(F_SW);
     let analog = scene.render(&train, seed);
-    let capture = Frontend::new(FrontendConfig::rtl_sdr_v3(scene.synth.center_freq)).digitize(&analog);
+    let capture =
+        Frontend::new(FrontendConfig::rtl_sdr_v3(scene.synth.center_freq)).digitize(&analog);
 
     let bit_period = tx.config().expected_bit_period_on(&machine);
     let rx = Receiver::new(RxConfig::new(F_SW, bit_period));
@@ -48,7 +49,7 @@ fn payload_recovered_over_the_full_chain() {
         alignment.ber()
     );
     assert!(alignment.ber() < 0.05, "BER {}", alignment.ber());
-    let out = deframe(&report.bits, FrameConfig::default(), 1)
-        .expect("frame marker must be detectable");
+    let out =
+        deframe(&report.bits, FrameConfig::default(), 1).expect("frame marker must be detectable");
     assert_eq!(out.payload, payload.to_vec());
 }

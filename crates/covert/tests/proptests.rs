@@ -1,8 +1,8 @@
 //! Property-based tests for coding, framing and alignment.
 
 use emsc_covert::coding::{bits_to_bytes, bytes_to_bits, decode_bits, encode_bits};
-use emsc_covert::interleave::Interleaver;
 use emsc_covert::frame::{deframe, frame_payload, FrameConfig};
+use emsc_covert::interleave::Interleaver;
 use emsc_covert::metrics::{align, align_semiglobal};
 use proptest::prelude::*;
 

@@ -76,7 +76,10 @@ pub fn add_awgn(buf: &mut [Complex], sigma: f64, seed: u64) {
         let u2: f64 = rng.gen::<f64>();
         let r = (-2.0 * u1.ln()).sqrt();
         let theta = 2.0 * std::f64::consts::PI * u2;
-        *slot += Complex::new(s * r * theta.cos(), s * r * theta.sin());
+        // sin_cos is one fused libm call and bit-identical to the
+        // separate sin()/cos() it replaces.
+        let (sin, cos) = theta.sin_cos();
+        *slot += Complex::new(s * r * cos, s * r * sin);
     }
 }
 

@@ -64,7 +64,12 @@ pub struct Path {
 impl Path {
     /// Near-field probe placement: 10 cm, coil probe, no wall.
     pub fn near_field() -> Self {
-        Path { antenna: Antenna::CoilProbe, distance_m: 0.10, wall_loss_db: 0.0, misalignment_rad: 0.0 }
+        Path {
+            antenna: Antenna::CoilProbe,
+            distance_m: 0.10,
+            wall_loss_db: 0.0,
+            misalignment_rad: 0.0,
+        }
     }
 
     /// Loop antenna at the given line-of-sight distance.
@@ -75,7 +80,12 @@ impl Path {
     /// The paper's Fig. 10 setup: loop antenna, 1.5 m total distance
     /// including a 35 cm structural wall.
     pub fn through_wall() -> Self {
-        Path { antenna: Antenna::LoopAntenna, distance_m: 1.5, wall_loss_db: 14.0, misalignment_rad: 0.0 }
+        Path {
+            antenna: Antenna::LoopAntenna,
+            distance_m: 1.5,
+            wall_loss_db: 14.0,
+            misalignment_rad: 0.0,
+        }
     }
 
     /// Linear amplitude gain of the whole path, such that
@@ -92,8 +102,7 @@ impl Path {
         let r3 = (0.10 / self.distance_m).powi(3);
         let wall = 10f64.powf(-self.wall_loss_db / 20.0);
         let orientation = self.misalignment_rad.cos().abs();
-        self.antenna.relative_gain() * r3 * wall * orientation
-            / Antenna::CoilProbe.relative_gain()
+        self.antenna.relative_gain() * r3 * wall * orientation / Antenna::CoilProbe.relative_gain()
     }
 
     /// Path gain in decibels relative to the near-field reference.

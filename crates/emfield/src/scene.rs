@@ -46,10 +46,7 @@ impl Scene {
 
     /// Line-of-sight loop-antenna setup at `distance_m` (Table III).
     pub fn line_of_sight(f_sw: f64, distance_m: f64) -> Self {
-        Scene {
-            path: Path::line_of_sight(distance_m),
-            ..Scene::near_field(f_sw)
-        }
+        Scene { path: Path::line_of_sight(distance_m), ..Scene::near_field(f_sw) }
     }
 
     /// The Fig. 10 through-the-wall setup, complete with the printer
@@ -72,7 +69,12 @@ impl Scene {
             *s = s.scale(gain);
         }
         for (i, intf) in self.interferers.iter().enumerate() {
-            intf.add_to(&mut buf, self.synth.sample_rate, self.synth.center_freq, seed ^ (i as u64) << 32);
+            intf.add_to(
+                &mut buf,
+                self.synth.sample_rate,
+                self.synth.center_freq,
+                seed ^ (i as u64) << 32,
+            );
         }
         add_awgn(&mut buf, self.noise_sigma, seed ^ 0x00ff_00ff_00ff_00ff);
         buf

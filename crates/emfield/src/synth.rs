@@ -23,11 +23,43 @@
 //! switching-randomisation countermeasure all emerge naturally in the
 //! capture's spectrum.
 
+use std::sync::OnceLock;
+
 use emsc_sdr::iq::Complex;
 use emsc_vrm::train::SwitchingTrain;
 
 /// Half-width of the interpolation kernel, in samples.
 const KERNEL_HALF_WIDTH: usize = 6;
+
+/// Kernel look-up table resolution, entries per unit sample offset.
+/// Linear interpolation at this density keeps the worst-case kernel
+/// error below ~2·10⁻⁶ of the peak — two orders of magnitude under
+/// the synthesis accuracy contract (−90 dB, asserted in tests).
+const LUT_RES: usize = 1024;
+
+/// Fast-path pulses between exact carrier-phasor re-computations.
+/// The incremental rotation drifts ≲ 1 ulp per step, so the error at
+/// refresh time stays ~1e-13 — the same periodic drift-control pattern
+/// as `emsc_sdr::sliding::SlidingDft`.
+const PHASOR_REFRESH: usize = 256;
+
+/// Samples per render chunk. Chunks are fixed-size and self-contained,
+/// so a capture renders bit-identically whether the chunks run on one
+/// thread or many.
+const CHUNK_SAMPLES: usize = 1 << 16;
+
+/// Which synthesis implementation [`render_train`] uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SynthMode {
+    /// Table-driven kernel, incrementally rotated carrier phasor,
+    /// chunked rendering (parallelised across the worker pool).
+    /// Matches [`SynthMode::Exact`] to better than −90 dB.
+    #[default]
+    Fast,
+    /// Reference scalar path: per-pulse `cis` and analytically
+    /// evaluated kernel. Kept for accuracy audits and tests.
+    Exact,
+}
 
 /// Synthesis parameters: where the receiver is tuned and how fast it
 /// samples.
@@ -38,6 +70,8 @@ pub struct SynthConfig {
     /// Tuner centre frequency, hertz. Choose it so `f_sw` and `2·f_sw`
     /// both land within `±sample_rate/2`.
     pub center_freq: f64,
+    /// Synthesis implementation (fast LUT path by default).
+    pub mode: SynthMode,
 }
 
 impl SynthConfig {
@@ -46,7 +80,12 @@ impl SynthConfig {
     /// and its first harmonic so both are in-band (§IV-B1 uses exactly
     /// those two components).
     pub fn rtl_sdr_for(f_sw: f64) -> Self {
-        SynthConfig { sample_rate: 2.4e6, center_freq: 1.5 * f_sw }
+        SynthConfig { sample_rate: 2.4e6, center_freq: 1.5 * f_sw, mode: SynthMode::default() }
+    }
+
+    /// The same receiver with the reference scalar synthesis path.
+    pub fn exact(self) -> Self {
+        SynthConfig { mode: SynthMode::Exact, ..self }
     }
 
     /// Baseband offset of RF frequency `f` under this configuration.
@@ -70,6 +109,30 @@ fn kernel(x: f64) -> f64 {
     };
     let window = 0.5 * (1.0 + (std::f64::consts::PI * x / half).cos());
     sinc * window
+}
+
+/// The precomputed kernel table: `kernel(−H + i/LUT_RES)` for
+/// `i = 0 ..= 2·H·LUT_RES`, plus one trailing zero so a lookup landing
+/// exactly on the right edge can still read `values[i + 1]`.
+fn kernel_lut() -> &'static [f64] {
+    static LUT: OnceLock<Vec<f64>> = OnceLock::new();
+    LUT.get_or_init(|| {
+        let n = 2 * KERNEL_HALF_WIDTH * LUT_RES;
+        let mut values: Vec<f64> =
+            (0..=n).map(|i| kernel(i as f64 / LUT_RES as f64 - KERNEL_HALF_WIDTH as f64)).collect();
+        values.push(0.0);
+        values
+    })
+}
+
+/// Linearly interpolated kernel lookup. `x` must lie in `[−H, H]`
+/// (callers construct sample indices so that it does).
+#[inline]
+fn kernel_fast(x: f64, lut: &[f64]) -> f64 {
+    let pos = (x + KERNEL_HALF_WIDTH as f64) * LUT_RES as f64;
+    let i = pos as usize;
+    let frac = pos - i as f64;
+    lut[i] + (lut[i + 1] - lut[i]) * frac
 }
 
 /// Renders a switching train into an ideal (noise-free, unit-path)
@@ -96,6 +159,26 @@ fn kernel(x: f64) -> f64 {
 /// assert_eq!(iq.len(), 4096);
 /// ```
 pub fn render_train(train: &SwitchingTrain, config: SynthConfig, n_samples: usize) -> Vec<Complex> {
+    match config.mode {
+        // The fast path assumes time-ordered pulses (every generator
+        // in this workspace emits them that way); fall back to the
+        // reference path for the rare unsorted train.
+        SynthMode::Fast if pulses_are_sorted(train) => render_train_fast(train, config, n_samples),
+        _ => render_train_exact(train, config, n_samples),
+    }
+}
+
+fn pulses_are_sorted(train: &SwitchingTrain) -> bool {
+    train.pulses.windows(2).all(|w| w[0].t_s <= w[1].t_s)
+}
+
+/// Reference synthesis: per-pulse `Complex::cis` and the analytic
+/// kernel. O(pulses × kernel width), single-threaded.
+pub fn render_train_exact(
+    train: &SwitchingTrain,
+    config: SynthConfig,
+    n_samples: usize,
+) -> Vec<Complex> {
     let fs = config.sample_rate;
     let mut out = vec![Complex::ZERO; n_samples];
     for pulse in &train.pulses {
@@ -103,9 +186,102 @@ pub fn render_train(train: &SwitchingTrain, config: SynthConfig, n_samples: usiz
         let amp = pulse.charge_c * fs;
         let center = pulse.t_s * fs;
         let lo = (center - KERNEL_HALF_WIDTH as f64).ceil().max(0.0) as usize;
-        let hi = ((center + KERNEL_HALF_WIDTH as f64).floor() as usize).min(n_samples.saturating_sub(1));
+        let hi =
+            ((center + KERNEL_HALF_WIDTH as f64).floor() as usize).min(n_samples.saturating_sub(1));
         for (n, slot) in out.iter_mut().enumerate().take(hi + 1).skip(lo) {
             *slot += carrier.scale(amp * kernel(n as f64 - center));
+        }
+    }
+    out
+}
+
+/// Fast synthesis: table-driven kernel, incrementally rotated carrier
+/// phasor, independent fixed-size time chunks fanned across the
+/// worker pool. Requires time-ordered pulses.
+///
+/// Determinism: a chunk's samples depend only on the chunk index and
+/// the (immutable) train, and chunk results are stitched in index
+/// order — so the waveform is bit-identical for any worker count.
+fn render_train_fast(
+    train: &SwitchingTrain,
+    config: SynthConfig,
+    n_samples: usize,
+) -> Vec<Complex> {
+    let n_chunks = n_samples.div_ceil(CHUNK_SAMPLES).max(1);
+    if n_chunks == 1 {
+        return render_chunk(train, config, 0, n_samples);
+    }
+    let chunk_ids: Vec<usize> = (0..n_chunks).collect();
+    let chunks = emsc_runtime::par_map(&chunk_ids, |&c| {
+        let start = c * CHUNK_SAMPLES;
+        let len = CHUNK_SAMPLES.min(n_samples - start);
+        render_chunk(train, config, start, len)
+    });
+    let mut out = Vec::with_capacity(n_samples);
+    for chunk in chunks {
+        out.extend(chunk);
+    }
+    out
+}
+
+/// Renders the samples `[start, start + len)` of the capture: the
+/// contributions of every pulse whose kernel support intersects the
+/// chunk, processed in time order with an incremental carrier phasor.
+fn render_chunk(
+    train: &SwitchingTrain,
+    config: SynthConfig,
+    start: usize,
+    len: usize,
+) -> Vec<Complex> {
+    let fs = config.sample_rate;
+    let omega = -2.0 * std::f64::consts::PI * config.center_freq;
+    let lut = kernel_lut();
+    let mut out = vec![Complex::ZERO; len];
+
+    // Pulses whose kernel support [t·fs − H, t·fs + H] can reach this
+    // chunk (binary search over the time-ordered train).
+    let t_min = (start as f64 - KERNEL_HALF_WIDTH as f64) / fs;
+    let t_max = ((start + len) as f64 + KERNEL_HALF_WIDTH as f64) / fs;
+    let first = train.pulses.partition_point(|p| p.t_s < t_min);
+    let last = train.pulses.partition_point(|p| p.t_s < t_max);
+
+    // Incremental carrier phasor: exact `cis` for the first pulse and
+    // every PHASOR_REFRESH-th after it; in between, one complex
+    // multiply by a Δt rotator that is recomputed only when the pulse
+    // spacing changes. Regular trains therefore amortise `cis` to
+    // ~1/256 calls per pulse; jittered trains degrade gracefully to
+    // one `cis` per pulse.
+    let mut carrier = Complex::ZERO;
+    let mut prev_t = 0.0f64;
+    let mut cached_dt = f64::NAN;
+    let mut rotator = Complex::ZERO;
+    let mut since_refresh = PHASOR_REFRESH;
+
+    for pulse in &train.pulses[first..last] {
+        if since_refresh >= PHASOR_REFRESH {
+            carrier = Complex::cis(omega * pulse.t_s);
+            since_refresh = 0;
+        } else {
+            let dt = pulse.t_s - prev_t;
+            if dt != cached_dt {
+                cached_dt = dt;
+                rotator = Complex::cis(omega * dt);
+            }
+            carrier *= rotator;
+        }
+        since_refresh += 1;
+        prev_t = pulse.t_s;
+
+        let amp = pulse.charge_c * fs;
+        let center = pulse.t_s * fs;
+        let lo = (center - KERNEL_HALF_WIDTH as f64).ceil().max(start as f64) as usize;
+        let hi_abs = (center + KERNEL_HALF_WIDTH as f64).floor();
+        if hi_abs < start as f64 {
+            continue;
+        }
+        let hi = (hi_abs as usize).min(start + len - 1);
+        for n in lo..=hi {
+            out[n - start] += carrier.scale(amp * kernel_fast(n as f64 - center, lut));
         }
     }
     out
@@ -185,12 +361,7 @@ mod tests {
         let dense = regular_train(f_sw, 8e-6, 10e-3);
         // Every 16th period, same per-pulse charge-cap style as PFM:
         let sparse = SwitchingTrain {
-            pulses: dense
-                .pulses
-                .iter()
-                .step_by(16)
-                .copied()
-                .collect(),
+            pulses: dense.pulses.iter().step_by(16).copied().collect(),
             ..dense.clone()
         };
         let iq_d = render_train(&dense, cfg, samples_for(&dense, cfg));
@@ -238,7 +409,12 @@ mod tests {
         let in_band = spectrum_peak_near(&iq, cfg.sample_rate, cfg.baseband(f_sw), 8192);
         // Folded image of h3: offset 2.91 MHz − 1.455 MHz = 1.455 MHz
         // wraps to 1.455 − 2.4 = −0.945 MHz.
-        let folded = spectrum_peak_near(&iq, cfg.sample_rate, 2.0 * f_sw - 2.4e6 + f_sw - cfg.center_freq, 8192);
+        let folded = spectrum_peak_near(
+            &iq,
+            cfg.sample_rate,
+            2.0 * f_sw - 2.4e6 + f_sw - cfg.center_freq,
+            8192,
+        );
         assert!(in_band > 4.0 * folded, "in-band {in_band} vs folded {folded}");
     }
 
@@ -261,5 +437,125 @@ mod tests {
         let cfg = SynthConfig::rtl_sdr_for(1e6);
         let iq = render_train(&train, cfg, 2400);
         assert!(iq.iter().all(|z| z.abs() == 0.0));
+    }
+
+    /// RMS error of the fast path relative to the exact path, in dB.
+    fn relative_error_db(fast: &[Complex], exact: &[Complex]) -> f64 {
+        let err: f64 = fast.iter().zip(exact).map(|(a, b)| (*a - *b).norm_sqr()).sum();
+        let sig: f64 = exact.iter().map(|z| z.norm_sqr()).sum();
+        10.0 * (err / sig.max(1e-300)).log10()
+    }
+
+    #[test]
+    fn fast_path_matches_exact_below_minus_90_db() {
+        // Regular train — the phasor's amortised-rotation regime —
+        // long enough to span several chunks.
+        let f_sw = 937.5e3;
+        let train = regular_train(f_sw, 8e-6, 60e-3);
+        let cfg = SynthConfig::rtl_sdr_for(f_sw);
+        let n = samples_for(&train, cfg);
+        assert!(n > CHUNK_SAMPLES, "test must cover the chunked path");
+        let fast = render_train(&train, cfg, n);
+        let exact = render_train_exact(&train, cfg, n);
+        let db = relative_error_db(&fast, &exact);
+        assert!(db <= -90.0, "fast path error {db:.1} dB");
+    }
+
+    #[test]
+    fn fast_path_matches_exact_on_jittered_trains() {
+        // Jitter defeats the Δt rotator cache — every pulse recomputes
+        // its rotator — and still must meet the accuracy contract.
+        let f_sw = 937.5e3;
+        let mut train = regular_train(f_sw, 8e-6, 10e-3);
+        let mut state = 0xABCDu64;
+        for p in &mut train.pulses {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let u = (state % 10_000) as f64 / 10_000.0 - 0.5;
+            p.t_s = (p.t_s + 0.4 * u / f_sw).max(0.0);
+        }
+        train.pulses.sort_by(|a, b| a.t_s.partial_cmp(&b.t_s).unwrap());
+        let cfg = SynthConfig::rtl_sdr_for(f_sw);
+        let n = samples_for(&train, cfg);
+        let fast = render_train(&train, cfg, n);
+        let exact = render_train_exact(&train, cfg, n);
+        let db = relative_error_db(&fast, &exact);
+        assert!(db <= -90.0, "fast path error {db:.1} dB");
+    }
+
+    #[test]
+    fn exact_mode_flag_selects_the_reference_path() {
+        let f_sw = 1e6;
+        let train = regular_train(f_sw, 2e-6, 2e-3);
+        let cfg = SynthConfig::rtl_sdr_for(f_sw);
+        let via_flag = render_train(&train, cfg.exact(), 4096);
+        let direct = render_train_exact(&train, cfg, 4096);
+        assert!(via_flag.iter().zip(&direct).all(|(a, b)| a.re == b.re && a.im == b.im));
+    }
+
+    #[test]
+    fn unsorted_trains_fall_back_to_the_exact_path() {
+        let f_sw = 1e6;
+        let mut train = regular_train(f_sw, 2e-6, 2e-3);
+        train.pulses.reverse();
+        let cfg = SynthConfig::rtl_sdr_for(f_sw);
+        let fast_cfg = render_train(&train, cfg, 4096);
+        let exact = render_train_exact(&train, cfg, 4096);
+        assert!(fast_cfg.iter().zip(&exact).all(|(a, b)| a.re == b.re && a.im == b.im));
+    }
+
+    #[test]
+    fn chunked_render_is_thread_count_independent() {
+        let f_sw = 937.5e3;
+        let train = regular_train(f_sw, 8e-6, 60e-3);
+        let cfg = SynthConfig::rtl_sdr_for(f_sw);
+        let n = samples_for(&train, cfg);
+        let serial = emsc_runtime::with_threads(1, || render_train(&train, cfg, n));
+        let parallel = emsc_runtime::with_threads(8, || render_train(&train, cfg, n));
+        assert!(serial
+            .iter()
+            .zip(&parallel)
+            .all(|(a, b)| a.re.to_bits() == b.re.to_bits() && a.im.to_bits() == b.im.to_bits()));
+    }
+
+    mod lut_properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn lut_kernel_tracks_analytic_kernel(x in -6.5f64..6.5) {
+                let lut = kernel_lut();
+                let clamped = x.clamp(-(KERNEL_HALF_WIDTH as f64), KERNEL_HALF_WIDTH as f64);
+                let approx = kernel_fast(clamped, lut);
+                let truth = kernel(clamped);
+                prop_assert!((approx - truth).abs() < 3e-6, "x {} err {}", clamped, (approx - truth).abs());
+            }
+
+            #[test]
+            fn fast_render_matches_exact_for_random_trains(
+                f_sw in 0.5e6f64..1.2e6,
+                charge in 1e-6f64..9e-6,
+                jitter in 0.0f64..0.45,
+            ) {
+                let mut train = regular_train(f_sw, charge, 4e-3);
+                let mut state = (f_sw as u64) ^ 0x5EED;
+                for p in &mut train.pulses {
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                    let u = (state % 10_000) as f64 / 10_000.0 - 0.5;
+                    p.t_s = (p.t_s + jitter * u / f_sw).max(0.0);
+                }
+                train.pulses.sort_by(|a, b| a.t_s.partial_cmp(&b.t_s).unwrap());
+                let cfg = SynthConfig::rtl_sdr_for(f_sw);
+                let n = samples_for(&train, cfg);
+                let fast = render_train(&train, cfg, n);
+                let exact = render_train_exact(&train, cfg, n);
+                let db = relative_error_db(&fast, &exact);
+                prop_assert!(db <= -90.0, "error {} dB", db);
+            }
+        }
     }
 }

@@ -98,11 +98,7 @@ impl Confusion {
             .enumerate()
             .map(|(i, l)| {
                 let row: usize = self.counts[i].iter().sum();
-                let r = if row == 0 {
-                    0.0
-                } else {
-                    self.counts[i][i] as f64 / row as f64
-                };
+                let r = if row == 0 { 0.0 } else { self.counts[i][i] as f64 / row as f64 };
                 (l.clone(), r)
             })
             .collect()

@@ -34,10 +34,7 @@ impl FeatureVector {
         let longest = bursts.iter().map(|b| b.duration_s).fold(0.0, f64::max);
         let mean = total_active / count;
         let mean_gap = if bursts.len() > 1 {
-            bursts
-                .windows(2)
-                .map(|w| (w[1].start_s - w[0].end_s()).max(0.0))
-                .sum::<f64>()
+            bursts.windows(2).map(|w| (w[1].start_s - w[0].end_s()).max(0.0)).sum::<f64>()
                 / (bursts.len() - 1) as f64
         } else {
             0.0
@@ -69,12 +66,8 @@ pub fn feature_scales(features: &[FeatureVector]) -> [f64; FEATURE_DIM] {
         return scales;
     }
     for (d, scale) in scales.iter_mut().enumerate() {
-        let mean =
-            features.iter().map(|f| f.values[d]).sum::<f64>() / features.len() as f64;
-        let var = features
-            .iter()
-            .map(|f| (f.values[d] - mean).powi(2))
-            .sum::<f64>()
+        let mean = features.iter().map(|f| f.values[d]).sum::<f64>() / features.len() as f64;
+        let var = features.iter().map(|f| (f.values[d] - mean).powi(2)).sum::<f64>()
             / (features.len() - 1) as f64;
         if var.sqrt() > 1e-12 {
             *scale = var.sqrt();

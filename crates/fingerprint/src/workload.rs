@@ -51,10 +51,7 @@ impl SiteProfile {
 
     /// Time from first burst start to last burst end, seconds.
     pub fn load_time_s(&self) -> f64 {
-        self.bursts
-            .iter()
-            .map(|b| b.offset_s + b.duration_s)
-            .fold(0.0, f64::max)
+        self.bursts.iter().map(|b| b.offset_s + b.duration_s).fold(0.0, f64::max)
     }
 
     /// Renders one visit as machine events starting at `start_s`, with
@@ -99,10 +96,7 @@ pub fn site_library() -> Vec<SiteProfile> {
             ],
         ),
         // Video page: medium parse then sustained decode ramp-up.
-        SiteProfile::new(
-            "video",
-            vec![b(0.00, 0.25), b(0.35, 0.55), b(1.10, 0.45)],
-        ),
+        SiteProfile::new("video", vec![b(0.00, 0.25), b(0.35, 0.55), b(1.10, 0.45)]),
         // Search landing page: one short burst, then idle.
         SiteProfile::new("search", vec![b(0.00, 0.12), b(0.25, 0.06)]),
         // Webmail: moderate load, then periodic sync bursts.

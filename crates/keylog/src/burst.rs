@@ -89,12 +89,7 @@ impl BurstModel {
             }
         };
         poisson(self.housekeeping_rate_hz, self.housekeeping_busy_s, rng, &mut events);
-        poisson(
-            self.long_housekeeping_rate_hz,
-            self.long_housekeeping_busy_s,
-            rng,
-            &mut events,
-        );
+        poisson(self.long_housekeeping_rate_hz, self.long_housekeeping_busy_s, rng, &mut events);
         events.sort_by(|a, b| a.t_s.partial_cmp(&b.t_s).unwrap_or(std::cmp::Ordering::Equal));
         events
     }
@@ -154,10 +149,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(17);
         let keys = typist.type_text("abcdefghij klmnop qrstuv", 0.0, &mut rng);
         let events = BurstModel::browser().events_for(&keys, 10.0, &mut rng);
-        let long = events
-            .iter()
-            .filter(|e| e.kind == ActivityKind::Work && e.duration_s >= 0.03)
-            .count();
+        let long =
+            events.iter().filter(|e| e.kind == ActivityKind::Work && e.duration_s >= 0.03).count();
         assert!(long as f64 >= 0.95 * keys.len() as f64);
     }
 }

@@ -183,7 +183,14 @@ impl Detector {
                 (false, Some(s)) => {
                     gap += 1;
                     if gap > self.config.max_gap_windows {
-                        push_burst(&mut bursts, &mut rejected, s, last_active, window_s, cfg.min_burst_s);
+                        push_burst(
+                            &mut bursts,
+                            &mut rejected,
+                            s,
+                            last_active,
+                            window_s,
+                            cfg.min_burst_s,
+                        );
                         start = None;
                         gap = 0;
                     }

@@ -10,14 +10,14 @@
 //! digraphs remain plausible, and how many bits of password-guessing
 //! entropy the attacker gains.
 
-use crate::typist::Typist;
 #[cfg(test)]
 use crate::typist::key_distance;
+use crate::typist::Typist;
 
 /// The lowercase key set considered for identification.
 pub const KEY_SET: &[char] = &[
-    'a', 'b', 'c', 'd', 'e', 'f', 'g', 'h', 'i', 'j', 'k', 'l', 'm', 'n', 'o', 'p', 'q', 'r',
-    's', 't', 'u', 'v', 'w', 'x', 'y', 'z', ' ',
+    'a', 'b', 'c', 'd', 'e', 'f', 'g', 'h', 'i', 'j', 'k', 'l', 'm', 'n', 'o', 'p', 'q', 'r', 's',
+    't', 'u', 'v', 'w', 'x', 'y', 'z', ' ',
 ];
 
 /// Candidate digraphs consistent with one observed inter-key interval.
@@ -53,11 +53,7 @@ impl DigraphCandidates {
 /// Returns the digraphs whose expected inter-key interval (under the
 /// typist model) is within `±tolerance` (relative) of the observed
 /// interval.
-pub fn digraph_candidates(
-    typist: &Typist,
-    interval_s: f64,
-    tolerance: f64,
-) -> DigraphCandidates {
+pub fn digraph_candidates(typist: &Typist, interval_s: f64, tolerance: f64) -> DigraphCandidates {
     let mut candidates = Vec::new();
     let mut universe = 0;
     for &a in KEY_SET {
@@ -113,18 +109,12 @@ mod tests {
         assert!(fast.candidates.len() < mid.candidates.len());
         assert!(fast.entropy_gain_bits() > mid.entropy_gain_bits());
         // The fast candidates are dominated by distant/frequent pairs.
-        let mean_distance: f64 = fast
-            .candidates
-            .iter()
-            .map(|&(a, b)| key_distance(a, b))
-            .sum::<f64>()
-            / fast.candidates.len().max(1) as f64;
-        let mid_distance: f64 = mid
-            .candidates
-            .iter()
-            .map(|&(a, b)| key_distance(a, b))
-            .sum::<f64>()
-            / mid.candidates.len().max(1) as f64;
+        let mean_distance: f64 =
+            fast.candidates.iter().map(|&(a, b)| key_distance(a, b)).sum::<f64>()
+                / fast.candidates.len().max(1) as f64;
+        let mid_distance: f64 =
+            mid.candidates.iter().map(|&(a, b)| key_distance(a, b)).sum::<f64>()
+                / mid.candidates.len().max(1) as f64;
         assert!(mean_distance > mid_distance);
     }
 

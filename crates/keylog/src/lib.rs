@@ -28,7 +28,11 @@ pub mod typist;
 pub mod words;
 
 pub use burst::BurstModel;
-pub use detect::{score_detections, DetectedBurst, DetectionReport, DetectionScore, Detector, DetectorConfig};
+pub use detect::{
+    score_detections, DetectedBurst, DetectionReport, DetectionScore, Detector, DetectorConfig,
+};
+pub use identify::{
+    digraph_candidates, search_space_reduction, DigraphCandidates, SearchSpaceReduction,
+};
 pub use typist::{Keystroke, Typist, TypistConfig};
-pub use identify::{digraph_candidates, search_space_reduction, DigraphCandidates, SearchSpaceReduction};
 pub use words::{group_words, score_words, word_lengths, WordScore};

@@ -66,19 +66,39 @@ pub fn key_distance(a: char, b: char) -> f64 {
 /// else gets a small floor value.
 pub fn digraph_frequency(a: char, b: char) -> f64 {
     const COMMON: &[(&str, f64)] = &[
-        ("th", 1.00), ("he", 0.98), ("in", 0.91), ("er", 0.89), ("an", 0.82),
-        ("re", 0.72), ("nd", 0.62), ("on", 0.57), ("en", 0.55), ("at", 0.53),
-        ("ou", 0.52), ("ed", 0.50), ("ha", 0.49), ("to", 0.46), ("or", 0.45),
-        ("it", 0.43), ("is", 0.42), ("hi", 0.41), ("es", 0.41), ("ng", 0.38),
-        ("ar", 0.36), ("se", 0.34), ("st", 0.34), ("te", 0.33), ("me", 0.31),
-        ("ea", 0.30), ("ne", 0.28), ("we", 0.27), ("ll", 0.26), ("le", 0.26),
+        ("th", 1.00),
+        ("he", 0.98),
+        ("in", 0.91),
+        ("er", 0.89),
+        ("an", 0.82),
+        ("re", 0.72),
+        ("nd", 0.62),
+        ("on", 0.57),
+        ("en", 0.55),
+        ("at", 0.53),
+        ("ou", 0.52),
+        ("ed", 0.50),
+        ("ha", 0.49),
+        ("to", 0.46),
+        ("or", 0.45),
+        ("it", 0.43),
+        ("is", 0.42),
+        ("hi", 0.41),
+        ("es", 0.41),
+        ("ng", 0.38),
+        ("ar", 0.36),
+        ("se", 0.34),
+        ("st", 0.34),
+        ("te", 0.33),
+        ("me", 0.31),
+        ("ea", 0.30),
+        ("ne", 0.28),
+        ("we", 0.27),
+        ("ll", 0.26),
+        ("le", 0.26),
     ];
     let pair: String = [a.to_ascii_lowercase(), b.to_ascii_lowercase()].iter().collect();
-    COMMON
-        .iter()
-        .find(|(d, _)| **d == pair)
-        .map(|&(_, f)| f)
-        .unwrap_or(0.05)
+    COMMON.iter().find(|(d, _)| **d == pair).map(|&(_, f)| f).unwrap_or(0.05)
 }
 
 /// Typist skill/timing parameters.
@@ -187,7 +207,12 @@ impl Typist {
 
     /// Types `text`, returning the keystroke stream starting at
     /// `start_s` seconds. Deterministic for a given RNG state.
-    pub fn type_text<R: Rng + ?Sized>(&self, text: &str, start_s: f64, rng: &mut R) -> Vec<Keystroke> {
+    pub fn type_text<R: Rng + ?Sized>(
+        &self,
+        text: &str,
+        start_s: f64,
+        rng: &mut R,
+    ) -> Vec<Keystroke> {
         let c = &self.config;
         let mut out = Vec::with_capacity(text.len());
         let mut t = start_s;
@@ -227,7 +252,7 @@ mod tests {
         assert!(key_distance('a', 's') < key_distance('a', 'l'));
         assert!(key_distance('q', 'p') > 8.0);
         assert_eq!(key_distance('a', '!'), 0.0); // unknown key
-        // same key = zero distance
+                                                 // same key = zero distance
         assert!(key_distance('f', 'f') < 1e-12);
     }
 

@@ -43,13 +43,7 @@ pub fn word_lengths(groups: &[Vec<f64>]) -> Vec<usize> {
     groups
         .iter()
         .enumerate()
-        .map(|(i, g)| {
-            if i + 1 < n && g.len() > 1 {
-                g.len() - 1
-            } else {
-                g.len()
-            }
-        })
+        .map(|(i, g)| if i + 1 < n && g.len() > 1 { g.len() - 1 } else { g.len() })
         .collect()
 }
 
@@ -93,11 +87,7 @@ impl WordScore {
 pub fn score_words(predicted_lengths: &[usize], text: &str) -> WordScore {
     let true_lengths: Vec<usize> = text.split_whitespace().map(|w| w.chars().count()).collect();
     let correct = aligned_matches(predicted_lengths, &true_lengths);
-    WordScore {
-        correct,
-        predicted: predicted_lengths.len(),
-        actual: true_lengths.len(),
-    }
+    WordScore { correct, predicted: predicted_lengths.len(), actual: true_lengths.len() }
 }
 
 /// Number of equal-value pairs in an optimal (unit-cost) alignment of

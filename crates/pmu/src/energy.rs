@@ -106,11 +106,7 @@ mod tests {
         let m = MachineBuilder::new().noise(NoiseConfig::silent()).build();
         let p = Program::alternating(500e-6, 500e-6, 100, m.steady_state_ips());
         let r = EnergyReport::from_trace(&m.run(&p, 1));
-        assert!(
-            (1.0..15.0).contains(&r.mean_w),
-            "mean power {} W out of laptop range",
-            r.mean_w
-        );
+        assert!((1.0..15.0).contains(&r.mean_w), "mean power {} W out of laptop range", r.mean_w);
         assert!(r.peak_w > r.mean_w);
         assert!(r.work_j > r.idle_j);
     }

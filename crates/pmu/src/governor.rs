@@ -174,11 +174,8 @@ impl GovernorState {
             return vec![(duration_s, table.p0())];
         }
         if let PStateMode::Fixed(i) = policy.mode {
-            let p = table
-                .pstates
-                .get(i as usize)
-                .copied()
-                .unwrap_or_else(|| table.deepest_pstate());
+            let p =
+                table.pstates.get(i as usize).copied().unwrap_or_else(|| table.deepest_pstate());
             return vec![(duration_s, p)];
         }
         let ramp = policy.mode.ramp_s();

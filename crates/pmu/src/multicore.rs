@@ -109,7 +109,14 @@ pub fn combine_traces(traces: &[PowerTrace], tail_current_a: f64) -> PowerTrace 
                 None => current += tail_current_a,
             }
         }
-        out.push(hi - lo, if cstate == u8::MAX { 0 } else { cstate }, pstate, current, voltage.max(1e-3), kind);
+        out.push(
+            hi - lo,
+            if cstate == u8::MAX { 0 } else { cstate },
+            pstate,
+            current,
+            voltage.max(1e-3),
+            kind,
+        );
     }
     out
 }

@@ -137,14 +137,19 @@ impl<R: Rng> NoiseProcess<R> {
         // Catch the generators up to t0 (events before the window are
         // dropped — the core was busy and absorbed them).
         while self.next_short_s < t0_s {
-            self.next_short_s = next_arrival(self.next_short_s, self.config.short_rate_hz, &mut self.rng);
+            self.next_short_s =
+                next_arrival(self.next_short_s, self.config.short_rate_hz, &mut self.rng);
         }
         while self.next_long_s < t0_s {
-            self.next_long_s = next_arrival(self.next_long_s, self.config.long_rate_hz, &mut self.rng);
+            self.next_long_s =
+                next_arrival(self.next_long_s, self.config.long_rate_hz, &mut self.rng);
         }
         while self.next_background_s < t0_s {
-            self.next_background_s =
-                next_arrival(self.next_background_s, 1.0 / background_period(&self.config), &mut self.rng);
+            self.next_background_s = next_arrival(
+                self.next_background_s,
+                1.0 / background_period(&self.config),
+                &mut self.rng,
+            );
         }
         while self.next_short_s < t1_s {
             events.push(NoiseEvent {
@@ -152,7 +157,8 @@ impl<R: Rng> NoiseProcess<R> {
                 duration_s: exponential(self.config.short_duration_s, &mut self.rng),
                 kind: NoiseKind::ShortInterrupt,
             });
-            self.next_short_s = next_arrival(self.next_short_s, self.config.short_rate_hz, &mut self.rng);
+            self.next_short_s =
+                next_arrival(self.next_short_s, self.config.short_rate_hz, &mut self.rng);
         }
         while self.next_long_s < t1_s {
             events.push(NoiseEvent {
@@ -160,7 +166,8 @@ impl<R: Rng> NoiseProcess<R> {
                 duration_s: self.config.long_duration_s * (0.5 + self.rng.gen::<f64>()),
                 kind: NoiseKind::LongInterrupt,
             });
-            self.next_long_s = next_arrival(self.next_long_s, self.config.long_rate_hz, &mut self.rng);
+            self.next_long_s =
+                next_arrival(self.next_long_s, self.config.long_rate_hz, &mut self.rng);
         }
         while self.next_background_s < t1_s {
             events.push(NoiseEvent {
@@ -171,8 +178,11 @@ impl<R: Rng> NoiseProcess<R> {
             // Poisson arrivals: scheduler quanta are jittered, and a
             // strictly periodic process would alias against the covert
             // channel's bit clock.
-            self.next_background_s =
-                next_arrival(self.next_background_s, 1.0 / background_period(&self.config), &mut self.rng);
+            self.next_background_s = next_arrival(
+                self.next_background_s,
+                1.0 / background_period(&self.config),
+                &mut self.rng,
+            );
         }
         events.sort_by(|a, b| a.t_s.partial_cmp(&b.t_s).unwrap_or(std::cmp::Ordering::Equal));
         events
@@ -268,11 +278,8 @@ mod tests {
         let cfg = NoiseConfig::with_heavy_background();
         let mut p = process(cfg);
         let events = p.events_in(0.0, 10.0);
-        let busy: f64 = events
-            .iter()
-            .filter(|e| e.kind == NoiseKind::Background)
-            .map(|e| e.duration_s)
-            .sum();
+        let busy: f64 =
+            events.iter().filter(|e| e.kind == NoiseKind::Background).map(|e| e.duration_s).sum();
         let duty = busy / 10.0;
         assert!((duty - cfg.background_duty).abs() < 0.02, "duty {duty}");
     }

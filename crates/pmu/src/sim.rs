@@ -122,10 +122,7 @@ impl Machine {
         let g = self.sleep_model.granularity_s();
         let quantised = (requested_s / g).ceil() * g;
         let base = quantised + self.sleep_model.overhead_s() + self.sleep_model.jitter_mean_s();
-        let wake = self
-            .cstates
-            .select(&self.table, base)
-            .map_or(0.0, |c| c.exit_latency_s);
+        let wake = self.cstates.select(&self.table, base).map_or(0.0, |c| c.exit_latency_s);
         base + wake
     }
 
@@ -133,7 +130,8 @@ impl Machine {
     /// Deterministic for a given `(program, seed)` pair.
     pub fn run(&self, program: &Program, seed: u64) -> PowerTrace {
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut noise = NoiseProcess::new(self.noise, StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15));
+        let mut noise =
+            NoiseProcess::new(self.noise, StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15));
         let mut trace = PowerTrace::new();
         let mut level = 0.0; // DVFS ramp level (0 = deepest, 1 = P0)
         for op in program.ops() {
@@ -157,7 +155,8 @@ impl Machine {
     pub fn run_events(&self, duration_s: f64, events: &[ExternalEvent], seed: u64) -> PowerTrace {
         let mut sorted = events.to_vec();
         sorted.sort_by(|a, b| a.t_s.partial_cmp(&b.t_s).unwrap_or(std::cmp::Ordering::Equal));
-        let mut noise = NoiseProcess::new(self.noise, StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15));
+        let mut noise =
+            NoiseProcess::new(self.noise, StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15));
         let mut trace = PowerTrace::new();
         let mut level = 0.0;
         for ev in &sorted {
@@ -181,7 +180,13 @@ impl Machine {
     /// `ramp / (n−1)` seconds of busy time, and the level persists
     /// across bursts so periodic duty-cycle workloads quickly settle
     /// at P0.
-    fn emit_busy(&self, trace: &mut PowerTrace, level: &mut f64, iterations: u64, kind: ActivityKind) {
+    fn emit_busy(
+        &self,
+        trace: &mut PowerTrace,
+        level: &mut f64,
+        iterations: u64,
+        kind: ActivityKind,
+    ) {
         if iterations == 0 {
             return;
         }
@@ -264,11 +269,8 @@ impl Machine {
                 // BIOS-disabled C-states: the OS "idle" process spins.
                 // With DVFS enabled the idle loop drops to the deepest
                 // P-state; without it, it spins at nominal P0 (§III).
-                let p = if self.dvfs.enabled {
-                    self.table.deepest_pstate()
-                } else {
-                    self.table.p0()
-                };
+                let p =
+                    if self.dvfs.enabled { self.table.deepest_pstate() } else { self.table.p0() };
                 // The OS "idle" process is an ordinary loop (§III
                 // footnote 2): from the VRM's perspective it draws
                 // like any other execution, so no modulation remains.
@@ -288,12 +290,26 @@ impl Machine {
                         continue;
                     }
                     if ev.t_s > cursor {
-                        trace.push(ev.t_s - cursor, c.index, 0, idle_current, idle_voltage, ActivityKind::Idle);
+                        trace.push(
+                            ev.t_s - cursor,
+                            c.index,
+                            0,
+                            idle_current,
+                            idle_voltage,
+                            ActivityKind::Idle,
+                        );
                         cursor = ev.t_s;
                     }
                     // Wake, service, re-enter idle. Service runs at P0
                     // current (interrupt handlers don't wait for DVFS).
-                    trace.push(c.exit_latency_s, 0, 0, wake_current, p0_voltage, ActivityKind::Wake);
+                    trace.push(
+                        c.exit_latency_s,
+                        0,
+                        0,
+                        wake_current,
+                        p0_voltage,
+                        ActivityKind::Wake,
+                    );
                     let kind = match ev.kind {
                         NoiseKind::Background => ActivityKind::Background,
                         _ => ActivityKind::Interrupt,
@@ -309,7 +325,14 @@ impl Machine {
                     cursor += c.exit_latency_s + ev.duration_s;
                 }
                 if end > cursor {
-                    trace.push(end - cursor, c.index, 0, idle_current, idle_voltage, ActivityKind::Idle);
+                    trace.push(
+                        end - cursor,
+                        c.index,
+                        0,
+                        idle_current,
+                        idle_voltage,
+                        ActivityKind::Idle,
+                    );
                 }
                 // Final wake-up back to C0 for whatever follows.
                 trace.push(c.exit_latency_s, 0, 0, wake_current, p0_voltage, ActivityKind::Wake);
@@ -443,11 +466,8 @@ mod tests {
         let mut p = Program::new();
         p.busy_for(5e-3, m.nominal_ips());
         let trace = m.run(&p, 5);
-        let work: Vec<_> = trace
-            .segments()
-            .iter()
-            .filter(|s| s.kind == ActivityKind::Work)
-            .collect();
+        let work: Vec<_> =
+            trace.segments().iter().filter(|s| s.kind == ActivityKind::Work).collect();
         // The cold-start ramp walks the P-state staircase, then the
         // rest of the burst runs at P0.
         assert!(work.len() >= 3, "staircase expected, got {} phases", work.len());
@@ -530,11 +550,8 @@ mod tests {
         let m = MachineBuilder::new().noise(NoiseConfig::normal()).build();
         let p = Program::idle(0.5, 0.1);
         let trace = m.run(&p, 11);
-        let interrupts = trace
-            .segments()
-            .iter()
-            .filter(|s| s.kind == ActivityKind::Interrupt)
-            .count();
+        let interrupts =
+            trace.segments().iter().filter(|s| s.kind == ActivityKind::Interrupt).count();
         // 150 Hz for 0.5 s ⇒ ~75 short interrupts (Poisson).
         assert!(interrupts > 30, "only {interrupts} interrupts");
     }

@@ -116,9 +116,7 @@ impl PowerTrace {
         if t_s < 0.0 {
             return None;
         }
-        let idx = self
-            .segments
-            .partition_point(|s| s.end_s() <= t_s);
+        let idx = self.segments.partition_point(|s| s.end_s() <= t_s);
         self.segments.get(idx).filter(|s| s.start_s <= t_s)
     }
 
@@ -128,11 +126,7 @@ impl PowerTrace {
         if total <= 0.0 {
             return 0.0;
         }
-        self.segments
-            .iter()
-            .map(|s| s.current_a * s.duration_s)
-            .sum::<f64>()
-            / total
+        self.segments.iter().map(|s| s.current_a * s.duration_s).sum::<f64>() / total
     }
 
     /// Fraction of time spent executing (C0).
@@ -141,12 +135,7 @@ impl PowerTrace {
         if total <= 0.0 {
             return 0.0;
         }
-        self.segments
-            .iter()
-            .filter(|s| s.cstate == 0)
-            .map(|s| s.duration_s)
-            .sum::<f64>()
-            / total
+        self.segments.iter().filter(|s| s.cstate == 0).map(|s| s.duration_s).sum::<f64>() / total
     }
 
     /// Samples the current waveform at `sample_rate` Hz (`O(n + m)`).
@@ -199,7 +188,14 @@ impl PowerTrace {
             while cursor < window_end {
                 let Some(seg) = self.segment_at(cursor) else { break };
                 let upto = seg.end_s().min(window_end);
-                out.push(upto - cursor, seg.cstate, seg.pstate, seg.current_a, seg.voltage_v, seg.kind);
+                out.push(
+                    upto - cursor,
+                    seg.cstate,
+                    seg.pstate,
+                    seg.current_a,
+                    seg.voltage_v,
+                    seg.kind,
+                );
                 cursor = upto;
             }
             t = window_end;

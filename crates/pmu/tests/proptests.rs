@@ -1,7 +1,7 @@
 //! Property-based tests for the power-management simulator.
 
-use emsc_pmu::sim::{Machine, MachineBuilder};
 use emsc_pmu::noise::NoiseConfig;
+use emsc_pmu::sim::{Machine, MachineBuilder};
 use emsc_pmu::timer::SleepModel;
 use emsc_pmu::workload::{Op, Program};
 use proptest::prelude::*;

@@ -104,10 +104,7 @@ pub fn find_peaks(signal: &[f64], min_height: f64, min_distance: usize) -> Vec<P
     // min_distance of an already-kept peak.
     let mut by_height: Vec<usize> = (0..candidates.len()).collect();
     by_height.sort_by(|&a, &b| {
-        candidates[b]
-            .value
-            .partial_cmp(&candidates[a].value)
-            .unwrap_or(std::cmp::Ordering::Equal)
+        candidates[b].value.partial_cmp(&candidates[a].value).unwrap_or(std::cmp::Ordering::Equal)
     });
     let mut keep = vec![true; candidates.len()];
     for &i in &by_height {
@@ -124,11 +121,7 @@ pub fn find_peaks(signal: &[f64], min_height: f64, min_distance: usize) -> Vec<P
             }
         }
     }
-    candidates
-        .into_iter()
-        .zip(keep)
-        .filter_map(|(p, k)| k.then_some(p))
-        .collect()
+    candidates.into_iter().zip(keep).filter_map(|(p, k)| k.then_some(p)).collect()
 }
 
 /// Scales `signal` so its maximum absolute value is 1 (no-op for an

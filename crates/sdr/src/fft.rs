@@ -10,6 +10,10 @@
 //! `X[k] = Σ_n x[n]·e^{-2πi·kn/N}` (no scaling); the inverse applies
 //! the conjugate kernel and divides by `N`, so `ifft(fft(x)) == x`.
 
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
 use crate::iq::Complex;
 
 /// Transform direction.
@@ -76,10 +80,23 @@ impl FftPlan {
         self.n
     }
 
-    /// Returns `true` for the (degenerate) length-1 plan.
+    /// Returns `true` when [`FftPlan::len`] is zero — which never
+    /// happens, because [`FftPlan::new`] rejects any size that is not
+    /// a power of two (and zero is not one). Provided so the type
+    /// satisfies the usual `len`/`is_empty` contract.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use emsc_sdr::fft::FftPlan;
+    ///
+    /// let plan = FftPlan::new(8);
+    /// assert_eq!(plan.is_empty(), plan.len() == 0);
+    /// assert!(!FftPlan::new(1).is_empty()); // length-1 is degenerate, not empty
+    /// ```
     #[inline]
     pub fn is_empty(&self) -> bool {
-        false
+        self.n == 0
     }
 
     /// In-place forward FFT.
@@ -117,24 +134,28 @@ impl FftPlan {
                 buf.swap(i, j);
             }
         }
-        // Iterative butterflies.
+        // Iterative butterflies. The twiddle index `k` is the outer
+        // loop so the direction branch (and the conjugation) resolves
+        // once per twiddle instead of once per butterfly; butterflies
+        // within a stage touch disjoint index pairs, so reordering
+        // them leaves every result bit-identical.
         for stage in 1..=self.log2n {
             let m = 1usize << stage; // butterfly group size
             let half = m >> 1;
             let step = self.n / m; // twiddle stride
-            let mut base = 0;
-            while base < self.n {
-                for k in 0..half {
-                    let w = match dir {
-                        Direction::Forward => self.twiddles[k * step],
-                        Direction::Inverse => self.twiddles[k * step].conj(),
-                    };
+            for k in 0..half {
+                let w = match dir {
+                    Direction::Forward => self.twiddles[k * step],
+                    Direction::Inverse => self.twiddles[k * step].conj(),
+                };
+                let mut base = 0;
+                while base < self.n {
                     let t = w * buf[base + k + half];
                     let u = buf[base + k];
                     buf[base + k] = u + t;
                     buf[base + k + half] = u - t;
+                    base += m;
                 }
-                base += m;
             }
         }
         if dir == Direction::Inverse {
@@ -146,16 +167,51 @@ impl FftPlan {
     }
 }
 
+thread_local! {
+    /// Per-thread plan cache keyed by transform length. Twiddle and
+    /// bit-reversal tables are pure functions of the length, so a
+    /// cached plan is indistinguishable from a fresh one; thread-local
+    /// storage keeps the cache lock-free under the worker pool.
+    static PLAN_CACHE: RefCell<HashMap<usize, Rc<FftPlan>>> = RefCell::new(HashMap::new());
+}
+
+/// Returns this thread's cached [`FftPlan`] for length `n`, building
+/// and memoising it on first use.
+///
+/// Callers that transform many buffers of one size (STFT frames,
+/// Welch segments, every `fft()` call in a hot loop) get the twiddle
+/// tables for free after the first call.
+///
+/// # Panics
+///
+/// Panics if `n` is zero or not a power of two.
+///
+/// # Examples
+///
+/// ```
+/// use emsc_sdr::fft::plan_for;
+///
+/// let a = plan_for(256);
+/// let b = plan_for(256);
+/// assert!(std::rc::Rc::ptr_eq(&a, &b)); // second lookup is a cache hit
+/// ```
+pub fn plan_for(n: usize) -> Rc<FftPlan> {
+    PLAN_CACHE.with(|cache| {
+        Rc::clone(cache.borrow_mut().entry(n).or_insert_with(|| Rc::new(FftPlan::new(n))))
+    })
+}
+
 /// Convenience one-shot forward FFT of a complex slice.
 ///
-/// Prefer [`FftPlan`] when transforming many buffers of the same size.
+/// Uses the thread-local plan cache, so repeated calls at one length
+/// pay the twiddle setup only once.
 ///
 /// # Panics
 ///
 /// Panics if the length is not a power of two.
 pub fn fft(input: &[Complex]) -> Vec<Complex> {
     let mut buf = input.to_vec();
-    FftPlan::new(input.len()).forward(&mut buf);
+    plan_for(input.len()).forward(&mut buf);
     buf
 }
 
@@ -166,7 +222,7 @@ pub fn fft(input: &[Complex]) -> Vec<Complex> {
 /// Panics if the length is not a power of two.
 pub fn ifft(input: &[Complex]) -> Vec<Complex> {
     let mut buf = input.to_vec();
-    FftPlan::new(input.len()).inverse(&mut buf);
+    plan_for(input.len()).inverse(&mut buf);
     buf
 }
 
@@ -222,11 +278,7 @@ mod tests {
     use super::*;
 
     fn assert_close(a: Complex, b: Complex, eps: f64) {
-        assert!(
-            (a - b).abs() < eps,
-            "expected {b}, got {a} (err {})",
-            (a - b).abs()
-        );
+        assert!((a - b).abs() < eps, "expected {b}, got {a} (err {})", (a - b).abs());
     }
 
     #[test]
@@ -343,6 +395,30 @@ mod tests {
             let f = bin_frequency(k, n, fs);
             assert_eq!(frequency_bin(f, n, fs), k % n);
         }
+    }
+
+    #[test]
+    #[allow(clippy::len_zero)] // the point is to pin is_empty to len() == 0
+    fn is_empty_agrees_with_len() {
+        for n in [1usize, 2, 8, 1024] {
+            let plan = FftPlan::new(n);
+            assert_eq!(plan.is_empty(), plan.len() == 0);
+            assert!(!plan.is_empty());
+        }
+    }
+
+    #[test]
+    fn cached_plan_matches_fresh_plan() {
+        let x: Vec<Complex> =
+            (0..64).map(|i| Complex::new((i as f64 * 0.9).sin(), (i as f64 * 0.4).cos())).collect();
+        let mut fresh = x.clone();
+        FftPlan::new(64).forward(&mut fresh);
+        let cached = fft(&x); // goes through plan_for
+        for (a, b) in cached.iter().zip(&fresh) {
+            assert_eq!(a.re.to_bits(), b.re.to_bits());
+            assert_eq!(a.im.to_bits(), b.im.to_bits());
+        }
+        assert!(Rc::ptr_eq(&plan_for(64), &plan_for(64)));
     }
 
     #[test]

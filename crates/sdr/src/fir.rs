@@ -107,9 +107,7 @@ mod tests {
     use super::*;
 
     fn tone(f: f64, n: usize) -> Vec<Complex> {
-        (0..n)
-            .map(|i| Complex::cis(2.0 * std::f64::consts::PI * f * i as f64))
-            .collect()
+        (0..n).map(|i| Complex::cis(2.0 * std::f64::consts::PI * f * i as f64)).collect()
     }
 
     #[test]

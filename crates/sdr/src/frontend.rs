@@ -11,6 +11,18 @@ use crate::iq::Complex;
 /// RTL-SDR v3 maximum reliable sample rate, samples per second (§IV-C1).
 pub const RTL_SDR_MAX_SAMPLE_RATE: f64 = 2.4e6;
 
+/// Which ppm-mixer implementation [`Frontend::digitize`] uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DigitizeMode {
+    /// Incrementally-rotated phasor with a periodic exact re-anchor
+    /// (one complex multiply per sample instead of a `cis`).
+    #[default]
+    Fast,
+    /// Reference path: an exact `cis` per sample. Kept for parity
+    /// testing and benchmarking.
+    Exact,
+}
+
 /// Configuration of the receiver front end.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FrontendConfig {
@@ -28,6 +40,8 @@ pub struct FrontendConfig {
     /// Fraction of ADC full scale the AGC maps the observed signal
     /// peak to (leaving headroom avoids clipping on transients).
     pub agc_target: f64,
+    /// Digitiser implementation (fast incremental mixer by default).
+    pub mode: DigitizeMode,
 }
 
 impl FrontendConfig {
@@ -40,6 +54,7 @@ impl FrontendConfig {
             ppm_error: 1.5,
             dc_offset: 0.004,
             agc_target: 0.7,
+            mode: DigitizeMode::default(),
         }
     }
 
@@ -52,7 +67,13 @@ impl FrontendConfig {
             ppm_error: 0.0,
             dc_offset: 0.0,
             agc_target: 1.0,
+            mode: DigitizeMode::default(),
         }
+    }
+
+    /// The same front end with the reference per-sample mixer.
+    pub fn exact(self) -> Self {
+        FrontendConfig { mode: DigitizeMode::Exact, ..self }
     }
 }
 
@@ -106,43 +127,60 @@ impl Frontend {
     /// Digitises an ideal analog complex-baseband signal into a
     /// [`Capture`], applying ppm frequency error, AGC scaling, DC
     /// offset and ADC quantisation.
+    ///
+    /// With [`DigitizeMode::Fast`] (the default) the ppm mixer
+    /// advances an incrementally-rotated phasor, re-anchored with an
+    /// exact `cis` every 64 samples; the accumulated rounding drift
+    /// stays at the 1e-14 level — far below the ADC's quantisation
+    /// step, so quantised captures match the reference path.
     pub fn digitize(&self, analog: &[Complex]) -> Capture {
         let cfg = &self.config;
         let df = cfg.center_freq * cfg.ppm_error / 1e6;
         // AGC: scale the peak to agc_target of full scale (1.0).
-        let peak = analog
-            .iter()
-            .map(|z| z.re.abs().max(z.im.abs()))
-            .fold(0.0f64, f64::max)
-            .max(1e-30);
+        let peak =
+            analog.iter().map(|z| z.re.abs().max(z.im.abs())).fold(0.0f64, f64::max).max(1e-30);
         let gain = cfg.agc_target / peak;
-        let quant_levels = if cfg.adc_bits >= 53 {
-            None
-        } else {
-            Some(((1u64 << (cfg.adc_bits - 1)) - 1) as f64)
+        let quant_levels =
+            if cfg.adc_bits >= 53 { None } else { Some(((1u64 << (cfg.adc_bits - 1)) - 1) as f64) };
+        let dc = Complex::new(cfg.dc_offset, cfg.dc_offset);
+        let quantize = |v: Complex| match quant_levels {
+            Some(q) => Complex::new(
+                (v.re.clamp(-1.0, 1.0) * q).round() / q,
+                (v.im.clamp(-1.0, 1.0) * q).round() / q,
+            ),
+            None => v,
         };
-        let samples = analog
-            .iter()
-            .enumerate()
-            .map(|(n, &z)| {
-                let t = n as f64 / cfg.sample_rate;
-                // ppm error: everything appears shifted by df at baseband.
-                let mut v = z * Complex::cis(2.0 * std::f64::consts::PI * df * t);
-                v = v.scale(gain) + Complex::new(cfg.dc_offset, cfg.dc_offset);
-                match quant_levels {
-                    Some(q) => Complex::new(
-                        (v.re.clamp(-1.0, 1.0) * q).round() / q,
-                        (v.im.clamp(-1.0, 1.0) * q).round() / q,
-                    ),
-                    None => v,
-                }
-            })
-            .collect();
-        Capture {
-            samples,
-            sample_rate: cfg.sample_rate,
-            center_freq: cfg.center_freq,
-        }
+        const REFRESH: usize = 64;
+        let phase_step = 2.0 * std::f64::consts::PI * df / cfg.sample_rate;
+        let samples: Vec<Complex> = match cfg.mode {
+            DigitizeMode::Fast => {
+                let step = Complex::cis(phase_step);
+                let mut rot = Complex::ONE;
+                analog
+                    .iter()
+                    .enumerate()
+                    .map(|(n, &z)| {
+                        if n % REFRESH == 0 {
+                            rot = Complex::cis(phase_step * n as f64);
+                        }
+                        let v = (z * rot).scale(gain) + dc;
+                        rot *= step;
+                        quantize(v)
+                    })
+                    .collect()
+            }
+            DigitizeMode::Exact => analog
+                .iter()
+                .enumerate()
+                .map(|(n, &z)| {
+                    let t = n as f64 / cfg.sample_rate;
+                    let v =
+                        (z * Complex::cis(2.0 * std::f64::consts::PI * df * t)).scale(gain) + dc;
+                    quantize(v)
+                })
+                .collect(),
+        };
+        Capture { samples, sample_rate: cfg.sample_rate, center_freq: cfg.center_freq }
     }
 }
 
@@ -255,6 +293,33 @@ mod tests {
     }
 
     #[test]
+    fn fast_mixer_matches_exact_reference() {
+        let fs = 2.4e6;
+        let x = tone(234_375.0, fs, 1 << 15, 0.8);
+        // Quantised: the 8-bit grid absorbs the phasor drift entirely.
+        let cfg = FrontendConfig::rtl_sdr_v3(1.4e6);
+        let fast = Frontend::new(cfg.clone()).digitize(&x);
+        let exact = Frontend::new(cfg.exact()).digitize(&x);
+        assert_eq!(fast.samples, exact.samples);
+        // Unquantised: drift stays at the rounding-noise level.
+        let cfg = FrontendConfig { adc_bits: 62, ..FrontendConfig::rtl_sdr_v3(1.4e6) };
+        let fast = Frontend::new(cfg.clone()).digitize(&x);
+        let exact = Frontend::new(cfg.exact()).digitize(&x);
+        let rms = (exact.samples.iter().map(|z| z.norm_sqr()).sum::<f64>()
+            / exact.samples.len() as f64)
+            .sqrt();
+        let err = (fast
+            .samples
+            .iter()
+            .zip(&exact.samples)
+            .map(|(a, b)| (*a - *b).norm_sqr())
+            .sum::<f64>()
+            / exact.samples.len() as f64)
+            .sqrt();
+        assert!(err < 1e-12 * rms, "mixer drift {err} vs rms {rms}");
+    }
+
+    #[test]
     fn capture_metadata_helpers() {
         let cap = Capture {
             samples: vec![Complex::ZERO; 2_400_000],
@@ -269,9 +334,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "sample rate")]
     fn zero_sample_rate_panics() {
-        Frontend::new(FrontendConfig {
-            sample_rate: 0.0,
-            ..FrontendConfig::ideal(1.0, 0.0)
-        });
+        Frontend::new(FrontendConfig { sample_rate: 0.0, ..FrontendConfig::ideal(1.0, 0.0) });
     }
 }

@@ -87,9 +87,7 @@ mod tests {
     use crate::fft::fft;
 
     fn chirp(n: usize) -> Vec<Complex> {
-        (0..n)
-            .map(|i| Complex::new((0.07 * i as f64).sin(), (0.013 * i as f64).cos()))
-            .collect()
+        (0..n).map(|i| Complex::new((0.07 * i as f64).sin(), (0.013 * i as f64).cos())).collect()
     }
 
     #[test]
@@ -99,11 +97,7 @@ mod tests {
         let spectrum = fft(&x);
         for k in [0usize, 1, 7, 31, 63] {
             let g = Goertzel::new(n, k).evaluate(&x);
-            assert!(
-                (g - spectrum[k]).abs() < 1e-9,
-                "bin {k}: goertzel {g}, fft {}",
-                spectrum[k]
-            );
+            assert!((g - spectrum[k]).abs() < 1e-9, "bin {k}: goertzel {g}, fft {}", spectrum[k]);
         }
     }
 

@@ -163,10 +163,7 @@ impl Mul for Complex {
     type Output = Complex;
     #[inline]
     fn mul(self, rhs: Complex) -> Complex {
-        Complex::new(
-            self.re * rhs.re - self.im * rhs.im,
-            self.re * rhs.im + self.im * rhs.re,
-        )
+        Complex::new(self.re * rhs.re - self.im * rhs.im, self.re * rhs.im + self.im * rhs.re)
     }
 }
 
@@ -309,9 +306,8 @@ mod tests {
     #[test]
     fn sum_of_unit_circle_is_zero() {
         let n = 64;
-        let s: Complex = (0..n)
-            .map(|k| Complex::cis(2.0 * std::f64::consts::PI * k as f64 / n as f64))
-            .sum();
+        let s: Complex =
+            (0..n).map(|k| Complex::cis(2.0 * std::f64::consts::PI * k as f64 / n as f64)).sum();
         assert!(s.abs() < 1e-9);
     }
 

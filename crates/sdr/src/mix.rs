@@ -13,11 +13,7 @@ use crate::iq::Complex;
 /// baseband frequency `f` moves to `f + shift_hz`.
 pub fn mix(samples: &[Complex], sample_rate: f64, shift_hz: f64) -> Vec<Complex> {
     let step = 2.0 * std::f64::consts::PI * shift_hz / sample_rate;
-    samples
-        .iter()
-        .enumerate()
-        .map(|(n, &z)| z * Complex::cis(step * n as f64))
-        .collect()
+    samples.iter().enumerate().map(|(n, &z)| z * Complex::cis(step * n as f64)).collect()
 }
 
 /// Returns a copy of `capture` digitally retuned to `new_center_hz`:
@@ -38,9 +34,7 @@ mod tests {
     use crate::fft::{fft, frequency_bin};
 
     fn tone(f_bb: f64, fs: f64, n: usize) -> Vec<Complex> {
-        (0..n)
-            .map(|i| Complex::cis(2.0 * std::f64::consts::PI * f_bb * i as f64 / fs))
-            .collect()
+        (0..n).map(|i| Complex::cis(2.0 * std::f64::consts::PI * f_bb * i as f64 / fs)).collect()
     }
 
     fn peak_bin(samples: &[Complex]) -> usize {
@@ -79,11 +73,7 @@ mod tests {
         // −400 kHz; retuned to 1.2 MHz it must sit at −200 kHz.
         let fs = 2.4e6;
         let n = 4096;
-        let cap = Capture {
-            samples: tone(-400e3, fs, n),
-            sample_rate: fs,
-            center_freq: 1.4e6,
-        };
+        let cap = Capture { samples: tone(-400e3, fs, n), sample_rate: fs, center_freq: 1.4e6 };
         let retuned = retune(&cap, 1.2e6);
         assert_eq!(retuned.center_freq, 1.2e6);
         assert_eq!(peak_bin(&retuned.samples), frequency_bin(-200e3, n, fs));

@@ -44,10 +44,8 @@ pub fn read_rtl_u8<R: Read>(
 ) -> io::Result<Capture> {
     let mut bytes = Vec::new();
     reader.read_to_end(&mut bytes)?;
-    let samples = bytes
-        .chunks_exact(2)
-        .map(|p| Complex::new(from_u8(p[0]), from_u8(p[1])))
-        .collect();
+    let samples =
+        bytes.chunks_exact(2).map(|p| Complex::new(from_u8(p[0]), from_u8(p[1]))).collect();
     Ok(Capture { samples, sample_rate, center_freq })
 }
 
@@ -64,9 +62,7 @@ mod tests {
     use super::*;
 
     fn sample_capture() -> Capture {
-        let samples = (0..1024)
-            .map(|n| Complex::from_polar(0.8, 0.05 * n as f64))
-            .collect();
+        let samples = (0..1024).map(|n| Complex::from_polar(0.8, 0.05 * n as f64)).collect();
         Capture { samples, sample_rate: 2.4e6, center_freq: 1.455e6 }
     }
 
@@ -86,11 +82,8 @@ mod tests {
 
     #[test]
     fn out_of_range_samples_clamp() {
-        let cap = Capture {
-            samples: vec![Complex::new(3.0, -3.0)],
-            sample_rate: 1.0,
-            center_freq: 0.0,
-        };
+        let cap =
+            Capture { samples: vec![Complex::new(3.0, -3.0)], sample_rate: 1.0, center_freq: 0.0 };
         let mut bytes = Vec::new();
         write_rtl_u8(&cap, &mut bytes).unwrap();
         assert_eq!(bytes, vec![255, 0]);

@@ -26,6 +26,10 @@ pub struct SlidingDft {
     bins: Vec<usize>,
     /// Per-bin phase rotator `e^{+2πik/M}`.
     rotators: Vec<Complex>,
+    /// Exact-resummation twiddles `e^{-2πikm/M}`, row-major per bin —
+    /// precomputed so the periodic [`refresh`](Self::push) costs no
+    /// trig at runtime.
+    refresh_twiddles: Vec<Complex>,
     /// Per-bin current value `F_n[k]`.
     values: Vec<Complex>,
     /// Ring buffer of the last `M` input samples.
@@ -51,10 +55,19 @@ impl SlidingDft {
             .iter()
             .map(|&k| Complex::cis(2.0 * std::f64::consts::PI * k as f64 / window as f64))
             .collect();
+        let refresh_twiddles = bins
+            .iter()
+            .flat_map(|&k| {
+                (0..window).map(move |m| {
+                    Complex::cis(-2.0 * std::f64::consts::PI * k as f64 * m as f64 / window as f64)
+                })
+            })
+            .collect();
         SlidingDft {
             window,
             bins: bins.to_vec(),
             rotators,
+            refresh_twiddles,
             values: vec![Complex::ZERO; bins.len()],
             ring: vec![Complex::ZERO; window],
             head: 0,
@@ -66,10 +79,8 @@ impl SlidingDft {
     /// Convenience constructor taking baseband frequencies instead of
     /// bin indices (frequencies are snapped to the nearest bin).
     pub fn for_frequencies(window: usize, frequencies: &[f64], sample_rate: f64) -> Self {
-        let bins: Vec<usize> = frequencies
-            .iter()
-            .map(|&f| frequency_bin(f, window, sample_rate))
-            .collect();
+        let bins: Vec<usize> =
+            frequencies.iter().map(|&f| frequency_bin(f, window, sample_rate)).collect();
         SlidingDft::new(window, &bins)
     }
 
@@ -87,7 +98,10 @@ impl SlidingDft {
     pub fn push(&mut self, x: Complex) {
         let oldest = self.ring[self.head];
         self.ring[self.head] = x;
-        self.head = (self.head + 1) % self.window;
+        self.head += 1;
+        if self.head == self.window {
+            self.head = 0;
+        }
         self.seen += 1;
         self.since_refresh += 1;
         if self.since_refresh >= self.window {
@@ -100,16 +114,26 @@ impl SlidingDft {
     }
 
     /// Exactly recomputes every tracked bin from the ring buffer,
-    /// clearing accumulated floating-point drift.
+    /// clearing accumulated floating-point drift. Twiddles come from
+    /// the table built in [`SlidingDft::new`] and the ring is walked
+    /// as two contiguous runs, so the summation order — and therefore
+    /// every bit of the result — matches the original modular-index,
+    /// trig-per-term loop.
     fn refresh(&mut self) {
         self.since_refresh = 0;
-        for (slot, &k) in self.values.iter_mut().zip(&self.bins) {
+        let w = self.window;
+        // Ring order: ring[head] is the oldest sample (index 0 of the window).
+        for (bi, slot) in self.values.iter_mut().enumerate() {
+            let tw = &self.refresh_twiddles[bi * w..(bi + 1) * w];
             let mut acc = Complex::ZERO;
-            // Ring order: ring[head] is the oldest sample (index 0 of the window).
-            for m in 0..self.window {
-                let x = self.ring[(self.head + m) % self.window];
-                acc += x * Complex::cis(-2.0 * std::f64::consts::PI * k as f64 * m as f64
-                    / self.window as f64);
+            let mut m = 0;
+            for &x in &self.ring[self.head..] {
+                acc += x * tw[m];
+                m += 1;
+            }
+            for &x in &self.ring[..self.head] {
+                acc += x * tw[m];
+                m += 1;
             }
             *slot = acc;
         }
@@ -199,7 +223,10 @@ mod tests {
         (0..n)
             .map(|i| {
                 let t = i as f64;
-                Complex::new((0.013 * t).sin() + 0.2 * (0.11 * t).cos(), (0.007 * t * t * 1e-3).sin())
+                Complex::new(
+                    (0.013 * t).sin() + 0.2 * (0.11 * t).cos(),
+                    (0.007 * t * t * 1e-3).sin(),
+                )
             })
             .collect()
     }
@@ -216,10 +243,7 @@ mod tests {
                 for (i, &k) in bins.iter().enumerate() {
                     let want = direct_bin(&samples, n, window, k);
                     let got = sdft.values()[i];
-                    assert!(
-                        (want - got).abs() < 1e-8,
-                        "bin {k} at n={n}: want {want}, got {got}"
-                    );
+                    assert!((want - got).abs() < 1e-8, "bin {k} at n={n}: want {want}, got {got}");
                 }
             }
         }

@@ -4,7 +4,7 @@
 //! spectrum estimate out of a noisy capture, used by the
 //! `spectrum_scan` example and handy for eyeballing a link budget.
 
-use crate::fft::{bin_frequency, FftPlan};
+use crate::fft::{bin_frequency, plan_for};
 use crate::iq::Complex;
 use crate::window::Window;
 
@@ -51,9 +51,8 @@ impl Psd {
     /// `(frequency, power)` pairs sorted by frequency (ascending),
     /// convenient for plotting.
     pub fn sorted_points(&self) -> Vec<(f64, f64)> {
-        let mut pts: Vec<(f64, f64)> = (0..self.bins())
-            .map(|k| (self.frequency(k), self.power(k)))
-            .collect();
+        let mut pts: Vec<(f64, f64)> =
+            (0..self.bins()).map(|k| (self.frequency(k), self.power(k))).collect();
         pts.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
         pts
     }
@@ -63,9 +62,7 @@ impl Psd {
     pub fn peaks(&self, n: usize, min_separation_hz: f64) -> Vec<(f64, f64)> {
         let mut order: Vec<usize> = (0..self.bins()).collect();
         order.sort_by(|&a, &b| {
-            self.power[b]
-                .partial_cmp(&self.power[a])
-                .unwrap_or(std::cmp::Ordering::Equal)
+            self.power[b].partial_cmp(&self.power[a]).unwrap_or(std::cmp::Ordering::Equal)
         });
         let mut out: Vec<(f64, f64)> = Vec::new();
         for k in order {
@@ -92,7 +89,7 @@ pub fn welch_psd(samples: &[Complex], sample_rate: f64, fft_size: usize, window:
     assert!(fft_size.is_power_of_two(), "fft_size must be a power of two");
     assert!(samples.len() >= fft_size, "capture shorter than one segment");
     let hop = fft_size / 2;
-    let plan = FftPlan::new(fft_size);
+    let plan = plan_for(fft_size);
     let win = window.coefficients(fft_size);
     let win_power: f64 = win.iter().map(|w| w * w).sum::<f64>() / fft_size as f64;
     let mut acc = vec![0.0f64; fft_size];

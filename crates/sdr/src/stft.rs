@@ -6,7 +6,7 @@
 //! module provides a planned, windowed, overlapping STFT over complex
 //! I/Q buffers and a [`Spectrogram`] type with band-extraction helpers.
 
-use crate::fft::{frequency_bin, FftPlan};
+use crate::fft::{frequency_bin, plan_for};
 use crate::iq::Complex;
 use crate::window::Window;
 
@@ -118,10 +118,8 @@ impl Spectrogram {
     /// baseband frequencies — the multi-harmonic energy signal `Y[n]`
     /// of the paper's Eq. (1), evaluated at the STFT frame rate.
     pub fn band_energy(&self, frequencies: &[f64]) -> Vec<f64> {
-        let bins: Vec<usize> = frequencies
-            .iter()
-            .map(|&f| frequency_bin(f, self.bins, self.sample_rate))
-            .collect();
+        let bins: Vec<usize> =
+            frequencies.iter().map(|&f| frequency_bin(f, self.bins, self.sample_rate)).collect();
         (0..self.frames)
             .map(|t| bins.iter().map(|&k| self.magnitudes[t * self.bins + k]).sum())
             .collect()
@@ -194,7 +192,7 @@ impl Spectrogram {
 pub fn stft(samples: &[Complex], sample_rate: f64, config: &StftConfig) -> Spectrogram {
     let n = config.fft_size;
     let frames = config.frame_count(samples.len());
-    let plan = FftPlan::new(n);
+    let plan = plan_for(n);
     let win = config.window.coefficients(n);
     let mut magnitudes = Vec::with_capacity(frames * n);
     let mut buf = vec![Complex::ZERO; n];
@@ -206,13 +204,7 @@ pub fn stft(samples: &[Complex], sample_rate: f64, config: &StftConfig) -> Spect
         plan.forward(&mut buf);
         magnitudes.extend(buf.iter().map(|z| z.abs()));
     }
-    Spectrogram {
-        magnitudes,
-        frames,
-        bins: n,
-        sample_rate,
-        hop: config.hop,
-    }
+    Spectrogram { magnitudes, frames, bins: n, sample_rate, hop: config.hop }
 }
 
 #[cfg(test)]
@@ -220,9 +212,7 @@ mod tests {
     use super::*;
 
     fn tone(freq: f64, fs: f64, n: usize) -> Vec<Complex> {
-        (0..n)
-            .map(|i| Complex::cis(2.0 * std::f64::consts::PI * freq * i as f64 / fs))
-            .collect()
+        (0..n).map(|i| Complex::cis(2.0 * std::f64::consts::PI * freq * i as f64 / fs)).collect()
     }
 
     #[test]

@@ -1,13 +1,13 @@
 //! Property-based tests for the DSP substrate.
 
 use emsc_sdr::dsp::{convolve_full, decimate, moving_average};
+use emsc_sdr::fft::{fft, ifft, FftPlan};
 use emsc_sdr::fir::Fir;
 use emsc_sdr::goertzel::Goertzel;
-use emsc_sdr::window::Window;
-use emsc_sdr::fft::{fft, ifft, FftPlan};
 use emsc_sdr::iq::Complex;
 use emsc_sdr::sliding::SlidingDft;
 use emsc_sdr::stats::{mean, median, quantile, Histogram};
+use emsc_sdr::window::Window;
 use proptest::prelude::*;
 
 fn complex_vec(len: usize) -> impl Strategy<Value = Vec<Complex>> {

@@ -147,9 +147,7 @@ impl Buck {
         let cfg = &self.config;
         let nominal = cfg.period_s();
         let fire_at = cfg.fire_threshold_c();
-        let mut rng = cfg
-            .randomization
-            .map(|r| (r, StdRng::seed_from_u64(r.seed)));
+        let mut rng = cfg.randomization.map(|r| (r, StdRng::seed_from_u64(r.seed)));
 
         let segments = trace.segments();
         let duration = trace.duration_s();
@@ -159,10 +157,7 @@ impl Buck {
         // Deficit: charge the capacitor is missing relative to its
         // setpoint. Negative = surplus (after a downward VID step).
         let mut deficit_c = 0.0_f64;
-        let mut rail_v = segments
-            .first()
-            .map(|s| cfg.vid.quantize(s.voltage_v))
-            .unwrap_or(0.0);
+        let mut rail_v = segments.first().map(|s| cfg.vid.quantize(s.voltage_v)).unwrap_or(0.0);
         let mut target_vid = rail_v;
 
         while t < duration {

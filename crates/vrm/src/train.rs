@@ -79,9 +79,7 @@ mod tests {
 
     fn train() -> SwitchingTrain {
         SwitchingTrain {
-            pulses: (0..100)
-                .map(|k| Pulse { t_s: k as f64 * 1e-6, charge_c: 2e-6 })
-                .collect(),
+            pulses: (0..100).map(|k| Pulse { t_s: k as f64 * 1e-6, charge_c: 2e-6 }).collect(),
             nominal_period_s: 1e-6,
             duration_s: 100e-6,
         }
@@ -117,9 +115,7 @@ mod tests {
     #[test]
     fn sparse_train_has_low_firing_fraction() {
         let t = SwitchingTrain {
-            pulses: (0..10)
-                .map(|k| Pulse { t_s: k as f64 * 10e-6, charge_c: 2e-6 })
-                .collect(),
+            pulses: (0..10).map(|k| Pulse { t_s: k as f64 * 10e-6, charge_c: 2e-6 }).collect(),
             nominal_period_s: 1e-6,
             duration_s: 100e-6,
         };

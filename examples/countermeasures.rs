@@ -17,10 +17,7 @@ fn main() {
     let payload = b"does this still leak?";
     let laptop = Laptop::dell_inspiron();
     println!("victim: {}, probe at 10 cm\n", laptop.model);
-    println!(
-        "{:<34} {:>9} {:>9} {:>10}",
-        "configuration", "BER", "rx bits", "recovered"
-    );
+    println!("{:<34} {:>9} {:>9} {:>10}", "configuration", "BER", "rx bits", "recovered");
 
     let configs: Vec<(String, Chain)> = vec![
         ("baseline (all states enabled)".to_string(), Chain::new(&laptop, Setup::NearField)),

@@ -59,11 +59,7 @@ fn main() {
     // Timeline: keystroke presses vs. detected bursts.
     println!();
     println!("timeline (| = true keypress, * = detected burst):");
-    let end = outcome
-        .keystrokes
-        .last()
-        .map(|k| k.release_s + 0.5)
-        .unwrap_or(1.0);
+    let end = outcome.keystrokes.last().map(|k| k.release_s + 0.5).unwrap_or(1.0);
     let cols = 96;
     let mut truth_line = vec![' '; cols];
     let mut det_line = vec![' '; cols];

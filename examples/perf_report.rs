@@ -1,0 +1,219 @@
+//! Performance report for the experiment runtime and DSP hot paths.
+//!
+//! ```text
+//! cargo run --release -p emsc-examples --example perf_report
+//! ```
+//!
+//! Times three layers and writes the results to `BENCH_runtime.json`
+//! in the current directory:
+//!
+//! 1. **Synthesis** — `render_train` LUT/incremental-phasor fast path
+//!    vs the exact scalar reference, single-threaded and on the pool.
+//! 2. **FFT** — repeated `fft()` calls through the thread-local plan
+//!    cache vs rebuilding the plan every call.
+//! 3. **End to end** — Table II (the biggest `reproduce` grid) with
+//!    `with_threads(1)` vs the full worker pool.
+//!
+//! All timed paths produce bit-identical outputs (see the determinism
+//! tests in `emsc-runtime` and `emsc-emfield`), so the speedups come
+//! for free.
+
+use std::time::Instant;
+
+use emsc_core::chain::{Chain, Setup};
+use emsc_core::covert_run::CovertScenario;
+use emsc_core::experiments::tables::{measure_channel_grid, TableScale};
+use emsc_core::laptop::Laptop;
+use emsc_emfield::synth::{render_train, render_train_exact, SynthConfig, SynthMode};
+use emsc_runtime::{current_threads, with_threads};
+use emsc_sdr::fft::{fft, FftPlan};
+use emsc_sdr::frontend::DigitizeMode;
+use emsc_sdr::iq::Complex;
+use emsc_vrm::train::{Pulse, SwitchingTrain};
+
+/// Best-of-`reps` wall-clock seconds for `f`.
+fn time_best<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..reps.max(1) {
+        let t0 = Instant::now();
+        let out = f();
+        best = best.min(t0.elapsed().as_secs_f64());
+        last = Some(out);
+    }
+    (best, last.expect("reps >= 1"))
+}
+
+/// A jittered 1 MHz switching train: the synthesis workload every
+/// chain stage feeds the SDR front end.
+fn bench_train(duration_s: f64) -> SwitchingTrain {
+    let f_sw = 1.0e6;
+    let period = 1.0 / f_sw;
+    let n = (duration_s * f_sw) as usize;
+    let pulses = (0..n)
+        .map(|k| {
+            // Deterministic ±3 % period jitter and ±20 % load swing,
+            // so the fractional-offset LUT actually gets exercised.
+            let jitter = (((k as u64).wrapping_mul(0x9E37_79B9)) % 61) as f64 / 1000.0 - 0.03;
+            let load = 1.0 + 0.2 * ((k as f64) * 0.013).sin();
+            Pulse { t_s: (k as f64 + jitter) * period, charge_c: 2.0e-6 * load }
+        })
+        .collect();
+    SwitchingTrain { pulses, nominal_period_s: period, duration_s }
+}
+
+fn main() {
+    let threads = current_threads();
+    println!("perf_report — {threads} worker threads available\n");
+
+    // 1. Synthesis: exact reference vs LUT fast path.
+    let train = bench_train(0.05);
+    let config = SynthConfig::rtl_sdr_for(1.0e6);
+    let n_samples = (0.05 * config.sample_rate) as usize;
+    let (exact_s, exact_iq) = time_best(3, || render_train_exact(&train, config, n_samples));
+    let (fast_1t_s, fast_iq) =
+        time_best(3, || with_threads(1, || render_train(&train, config, n_samples)));
+    let (fast_pool_s, _) = time_best(3, || render_train(&train, config, n_samples));
+    let rms: f64 =
+        (exact_iq.iter().map(|z| z.norm_sqr()).sum::<f64>() / exact_iq.len() as f64).sqrt();
+    let err: f64 = (exact_iq.iter().zip(&fast_iq).map(|(a, b)| (*a - *b).norm_sqr()).sum::<f64>()
+        / exact_iq.len() as f64)
+        .sqrt();
+    let err_db = 20.0 * (err / rms).log10(); // amplitude ratio in dB
+    let synth_1t = exact_s / fast_1t_s;
+    let synth_pool = exact_s / fast_pool_s;
+    println!("synthesis ({n_samples} samples, {} pulses):", train.pulses.len());
+    println!("  exact reference      {exact_s:>9.4} s");
+    println!("  fast, 1 thread       {fast_1t_s:>9.4} s   ({synth_1t:.2}x)");
+    println!("  fast, pool           {fast_pool_s:>9.4} s   ({synth_pool:.2}x)");
+    println!("  fast-vs-exact error  {err_db:>9.1} dB\n");
+
+    // 2. FFT plan cache: fft() (cached) vs a fresh plan per call.
+    let fft_n = 4096;
+    let fft_reps = 400;
+    let buf: Vec<Complex> = (0..fft_n)
+        .map(|i| Complex::new((i as f64 * 0.37).sin(), (i as f64 * 0.11).cos()))
+        .collect();
+    let (uncached_s, _) = time_best(3, || {
+        let mut acc = 0.0;
+        for _ in 0..fft_reps {
+            let mut b = buf.clone();
+            FftPlan::new(fft_n).forward(&mut b);
+            acc += b[1].re;
+        }
+        acc
+    });
+    let (cached_s, _) = time_best(3, || {
+        let mut acc = 0.0;
+        for _ in 0..fft_reps {
+            acc += fft(&buf)[1].re;
+        }
+        acc
+    });
+    let fft_speedup = uncached_s / cached_s;
+    println!("fft ({fft_reps} x {fft_n}-point):");
+    println!("  fresh plan per call  {uncached_s:>9.4} s");
+    println!("  thread-local cache   {cached_s:>9.4} s   ({fft_speedup:.2}x)\n");
+
+    // 3. End to end: the Table II grid (the biggest `reproduce`
+    //    artefact), at a reduced scale that keeps the report under a
+    //    minute. Three configurations:
+    //      legacy    — exact scalar synthesis and digitiser, one
+    //                  thread (the pre-runtime pipeline);
+    //      serial    — fast synthesis, one thread;
+    //      pool      — fast synthesis, all workers.
+    let scale = TableScale { payload_bytes: 32, runs: 4 };
+    let seed = 2020;
+    let scenarios = || -> Vec<(String, CovertScenario)> {
+        Laptop::all()
+            .iter()
+            .map(|laptop| {
+                let chain = Chain::new(laptop, Setup::NearField);
+                (laptop.model.to_string(), CovertScenario::for_laptop(laptop, chain))
+            })
+            .collect()
+    };
+    let mut legacy_scenarios = scenarios();
+    for (_, s) in &mut legacy_scenarios {
+        s.chain.scene.synth.mode = SynthMode::Exact;
+        s.chain.frontend.mode = DigitizeMode::Exact;
+    }
+    let fast_scenarios = scenarios();
+    let (legacy_s, _) =
+        time_best(2, || with_threads(1, || measure_channel_grid(&legacy_scenarios, scale, seed)));
+    let (serial_s, serial_rows) =
+        time_best(2, || with_threads(1, || measure_channel_grid(&fast_scenarios, scale, seed)));
+    let (parallel_s, parallel_rows) =
+        time_best(2, || measure_channel_grid(&fast_scenarios, scale, seed));
+    let identical = serial_rows.len() == parallel_rows.len()
+        && serial_rows.iter().zip(&parallel_rows).all(|(a, b)| {
+            a.ber.to_bits() == b.ber.to_bits() && a.tr_bps.to_bits() == b.tr_bps.to_bits()
+        });
+    let e2e_1t = legacy_s / serial_s;
+    let e2e_speedup = legacy_s / parallel_s;
+    println!("end-to-end (Table II grid, {} cells):", 6 * scale.runs);
+    println!("  legacy (exact, 1t)   {legacy_s:>9.3} s");
+    println!("  fast, 1 thread       {serial_s:>9.3} s   ({e2e_1t:.2}x)");
+    println!("  fast, {threads} thread(s)    {parallel_s:>9.3} s   ({e2e_speedup:.2}x)");
+    println!("  rows bit-identical   {identical}");
+    if threads < 4 {
+        println!("  (pool speedup is bounded by the {threads} core(s) available here)");
+    }
+    println!();
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"threads\": {},\n",
+            "  \"synthesis\": {{\n",
+            "    \"samples\": {},\n",
+            "    \"exact_s\": {:.6},\n",
+            "    \"fast_single_thread_s\": {:.6},\n",
+            "    \"fast_pool_s\": {:.6},\n",
+            "    \"single_thread_speedup\": {:.3},\n",
+            "    \"pool_speedup\": {:.3},\n",
+            "    \"error_db\": {:.1}\n",
+            "  }},\n",
+            "  \"fft\": {{\n",
+            "    \"size\": {},\n",
+            "    \"reps\": {},\n",
+            "    \"uncached_s\": {:.6},\n",
+            "    \"cached_s\": {:.6},\n",
+            "    \"speedup\": {:.3}\n",
+            "  }},\n",
+            "  \"end_to_end\": {{\n",
+            "    \"experiment\": \"table2\",\n",
+            "    \"cells\": {},\n",
+            "    \"legacy_exact_serial_s\": {:.6},\n",
+            "    \"fast_serial_s\": {:.6},\n",
+            "    \"fast_parallel_s\": {:.6},\n",
+            "    \"single_thread_speedup\": {:.3},\n",
+            "    \"speedup\": {:.3},\n",
+            "    \"rows_bit_identical\": {}\n",
+            "  }}\n",
+            "}}\n"
+        ),
+        threads,
+        n_samples,
+        exact_s,
+        fast_1t_s,
+        fast_pool_s,
+        synth_1t,
+        synth_pool,
+        err_db,
+        fft_n,
+        fft_reps,
+        uncached_s,
+        cached_s,
+        fft_speedup,
+        6 * scale.runs,
+        legacy_s,
+        serial_s,
+        parallel_s,
+        e2e_1t,
+        e2e_speedup,
+        identical,
+    );
+    std::fs::write("BENCH_runtime.json", &json).expect("write BENCH_runtime.json");
+    println!("wrote BENCH_runtime.json");
+}

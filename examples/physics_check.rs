@@ -35,12 +35,7 @@ fn main() {
     for laptop in Laptop::all() {
         let m = laptop.machine();
         let active = m.table.active_current_a(m.table.p0());
-        let idle = m
-            .table
-            .cstates
-            .last()
-            .map(|c| m.table.idle_current_a(*c))
-            .unwrap_or(0.0);
+        let idle = m.table.cstates.last().map(|c| m.table.idle_current_a(*c)).unwrap_or(0.0);
         println!(
             "{:<24} active {:>5.2} A, deep idle {:>5.3} A  ({:.0}x)",
             laptop.model,
@@ -80,11 +75,6 @@ fn main() {
     let r = EnergyReport::from_trace(&m.run(&p, 1));
     println!(
         "mean {:.2} W, peak {:.2} W over {:.0} ms (work {:.2} J, idle {:.3} J, overhead {:.3} J)",
-        r.mean_w,
-        r.peak_w,
-        500.0,
-        r.work_j,
-        r.idle_j,
-        r.overhead_j
+        r.mean_w, r.peak_w, 500.0, r.work_j, r.idle_j, r.overhead_j
     );
 }

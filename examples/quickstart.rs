@@ -22,7 +22,7 @@ fn main() {
 
     let chain = Chain::new(&laptop, Setup::NearField);
     let scenario = CovertScenario::for_laptop(&laptop, chain);
-    let outcome = scenario.run(secret, 7);
+    let outcome = scenario.run(secret, 2);
 
     println!();
     println!(

@@ -8,102 +8,148 @@
 //! Artefact names: fig2, bios, fig4, fig5, fig6, fig7, fig8, table1,
 //! table2, background, fig9, table3, fig10, fig11, table4, extensions.
 //!
+//! Independent artefacts fan out across the `emsc-runtime` worker
+//! pool (the big grids — Table II, Table III, the background stress —
+//! additionally flatten their own cells when run alone). Output order
+//! and content are identical to a serial run; set `EMSC_THREADS=1` to
+//! force one.
+//!
 //! The output of a full run is recorded in `EXPERIMENTS.md` next to
 //! the paper's numbers.
 
+use emsc_core::experiments::covert_figs;
 use emsc_core::experiments::keylog_table::{render_table4, table4, KeylogScale};
-use emsc_core::experiments::spectral::{fig2, fig2_bios, fig11, render_bios, Scale};
+use emsc_core::experiments::spectral::{fig11, fig2, fig2_bios, render_bios, Scale};
 use emsc_core::experiments::tables::{
     fig10_nlos, fig9, render_channel_rows, render_fig9, table1, table2, table2_background, table3,
     TableScale,
 };
-use emsc_core::experiments::covert_figs;
+use emsc_runtime::par_map;
 
 fn main() {
     let filter: Vec<String> = std::env::args().skip(1).collect();
     let want = |name: &str| filter.is_empty() || filter.iter().any(|f| f == name);
     let seed = 2020; // HPCA 2020
 
+    // Table II runs first on the full pool (6 laptops × 5 runs of
+    // cells) because Fig. 9 needs its best measured rate.
+    let table2_rows = if want("table2") { Some(table2(TableScale::paper(), seed)) } else { None };
+    let best_tr = table2_rows
+        .as_ref()
+        .map(|rows| rows.iter().map(|r| r.tr_bps).fold(0.0, f64::max))
+        .unwrap_or(3700.0);
+
+    // Every remaining artefact is an independent closure; they fan out
+    // across the pool and print in this fixed order regardless of
+    // which finishes first.
+    type Artefact<'a> = (&'static str, Box<dyn Fn() -> String + Send + Sync + 'a>);
+    let mut artefacts: Vec<Artefact> = Vec::new();
     if want("fig2") {
-        println!("{}\n", fig2(Scale::Paper, seed).render());
+        artefacts.push(("fig2", Box::new(move || fig2(Scale::Paper, seed).render())));
     }
     if want("bios") {
-        println!("{}\n", render_bios(&fig2_bios(Scale::Paper, seed)));
+        artefacts.push(("bios", Box::new(move || render_bios(&fig2_bios(Scale::Paper, seed)))));
     }
     if want("fig4") {
-        println!("{}\n", covert_figs::fig4(seed).render());
+        artefacts.push(("fig4", Box::new(move || covert_figs::fig4(seed).render())));
     }
     if want("fig5") {
-        let f = covert_figs::fig5(seed);
-        println!(
-            "Fig. 5 — edge detection: {:.0} % of bit starts found in the first pass\n",
-            f.raw_edge_coverage * 100.0
-        );
+        artefacts.push((
+            "fig5",
+            Box::new(move || {
+                let f = covert_figs::fig5(seed);
+                format!(
+                    "Fig. 5 — edge detection: {:.0} % of bit starts found in the first pass",
+                    f.raw_edge_coverage * 100.0
+                )
+            }),
+        ));
     }
     if want("fig6") {
-        println!("{}\n", covert_figs::fig6(seed).render());
+        artefacts.push(("fig6", Box::new(move || covert_figs::fig6(seed).render())));
     }
     if want("fig7") {
-        println!("{}\n", covert_figs::fig7(seed).render());
+        artefacts.push(("fig7", Box::new(move || covert_figs::fig7(seed).render())));
     }
     if want("fig8") {
-        println!("{}\n", covert_figs::fig8(seed).render());
+        artefacts.push(("fig8", Box::new(move || covert_figs::fig8(seed).render())));
     }
     if want("table1") {
-        println!("{}\n", table1());
+        artefacts.push(("table1", Box::new(table1)));
     }
-    let mut best_tr: f64 = 3700.0;
-    if want("table2") {
-        let rows = table2(TableScale::paper(), seed);
-        best_tr = rows.iter().map(|r| r.tr_bps).fold(0.0, f64::max);
-        println!(
-            "{}\n",
-            render_channel_rows("Table II — near-field covert channel (10 cm probe)", &rows)
-        );
+    if let Some(rows) = &table2_rows {
+        artefacts.push((
+            "table2",
+            Box::new(move || {
+                render_channel_rows("Table II — near-field covert channel (10 cm probe)", rows)
+            }),
+        ));
     }
     if want("background") {
-        println!(
-            "{}\n",
-            render_channel_rows(
-                "§IV-C2 — background-activity stress (Dell Inspiron)",
-                &table2_background(TableScale::paper(), seed)
-            )
-        );
+        artefacts.push((
+            "background",
+            Box::new(move || {
+                render_channel_rows(
+                    "§IV-C2 — background-activity stress (Dell Inspiron)",
+                    &table2_background(TableScale::paper(), seed),
+                )
+            }),
+        ));
     }
     if want("fig9") {
-        let (baselines, measured) = fig9(best_tr);
-        println!("{}\n", render_fig9(&baselines, measured));
+        artefacts.push((
+            "fig9",
+            Box::new(move || {
+                let (baselines, measured) = fig9(best_tr);
+                render_fig9(&baselines, measured)
+            }),
+        ));
     }
     if want("table3") {
-        println!(
-            "{}\n",
-            render_channel_rows(
-                "Table III — distance sweep (Dell Inspiron, loop antenna)",
-                &table3(TableScale::paper(), seed)
-            )
-        );
+        artefacts.push((
+            "table3",
+            Box::new(move || {
+                render_channel_rows(
+                    "Table III — distance sweep (Dell Inspiron, loop antenna)",
+                    &table3(TableScale::paper(), seed),
+                )
+            }),
+        ));
     }
     if want("fig10") {
-        println!(
-            "{}\n",
-            render_channel_rows(
-                "Fig. 10 / §IV-C3 — NLoS through the wall (interferers on)",
-                &[fig10_nlos(TableScale::paper(), seed)]
-            )
-        );
+        artefacts.push((
+            "fig10",
+            Box::new(move || {
+                render_channel_rows(
+                    "Fig. 10 / §IV-C3 — NLoS through the wall (interferers on)",
+                    &[fig10_nlos(TableScale::paper(), seed)],
+                )
+            }),
+        ));
     }
     if want("fig11") {
-        println!("{}\n", fig11(seed).render());
+        artefacts.push(("fig11", Box::new(move || fig11(seed).render())));
     }
     if want("table4") {
-        println!("{}\n", render_table4(&table4(KeylogScale::paper(), seed)));
+        artefacts
+            .push(("table4", Box::new(move || render_table4(&table4(KeylogScale::paper(), seed)))));
     }
     if want("extensions") {
-        use emsc_core::experiments::extensions::{fingerprint_accuracy, timing_analysis};
-        println!("{}\n", fingerprint_accuracy(4, seed).render());
-        println!(
-            "{}\n",
-            timing_analysis("the quick brown fox jumps over the lazy dog", seed).render()
-        );
+        artefacts.push((
+            "extensions",
+            Box::new(move || {
+                use emsc_core::experiments::extensions::{fingerprint_accuracy, timing_analysis};
+                format!(
+                    "{}\n\n{}",
+                    fingerprint_accuracy(4, seed).render(),
+                    timing_analysis("the quick brown fox jumps over the lazy dog", seed).render()
+                )
+            }),
+        ));
+    }
+
+    let outputs = par_map(&artefacts, |(_, run)| run());
+    for output in outputs {
+        println!("{output}\n");
     }
 }

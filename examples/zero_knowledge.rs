@@ -29,8 +29,8 @@ fn main() {
     println!("attacker gets: {:.0} ms of I/Q at 2.4 Msps. Nothing else.", capture.duration() * 1e3);
 
     // ① Where does this laptop's VRM sing?
-    let f_sw = find_switching_frequency(&capture, 200e3, 1.3e6)
-        .expect("a VRM spike must be present");
+    let f_sw =
+        find_switching_frequency(&capture, 200e3, 1.3e6).expect("a VRM spike must be present");
     println!("① spectral peak at {:.0} kHz — that's the switching frequency", f_sw / 1e3);
 
     // ② + ③ Blind demodulation: the receiver is primed with a

@@ -57,11 +57,7 @@ fn captures_round_trip_through_the_rtl_sdr_format() {
     let receiver = Receiver::new(scenario.rx.clone());
     let report = receiver.demodulate(&restored);
     let from_disk = emsc_covert::align_semiglobal(&outcome.tx_bits, &report.bits);
-    assert!(
-        from_disk.ber() < 0.02,
-        "BER after u8 round trip: {}",
-        from_disk.ber()
-    );
+    assert!(from_disk.ber() < 0.02, "BER after u8 round trip: {}", from_disk.ber());
 }
 
 #[test]
@@ -72,10 +68,7 @@ fn blinking_starves_the_receiver() {
     let scenario = CovertScenario::for_laptop(&laptop, chain);
     let payload = b"hidden by blinking";
     let outcome = scenario.run(payload, 12);
-    assert!(
-        !outcome.recovered(payload),
-        "blinking must break the transfer"
-    );
+    assert!(!outcome.recovered(payload), "blinking must break the transfer");
     // Most of the modulation is blanked: far fewer bits demodulate
     // than were sent.
     assert!(
@@ -103,7 +96,6 @@ fn fingerprinting_separates_extreme_sites() {
         outcome.accuracy
     );
 }
-
 
 #[test]
 fn two_transmitters_share_the_ether_by_frequency_division() {
@@ -148,14 +140,12 @@ fn two_transmitters_share_the_ether_by_frequency_division() {
     let mut sum: Vec<emsc_sdr::Complex> = (0..n).map(|i| sig_a[i] + sig_b[i]).collect();
     emsc_emfield::interference::add_awgn(&mut sum, 2.0, 99);
     let analog = Capture { samples: sum, sample_rate: 2.4e6, center_freq: f_tune };
-    let capture = Frontend::new(FrontendConfig::rtl_sdr_v3(f_tune)).digitize(&analog.samples)
-        ;
+    let capture = Frontend::new(FrontendConfig::rtl_sdr_v3(f_tune)).digitize(&analog.samples);
     let capture = Capture { center_freq: f_tune, ..capture };
 
-    for (laptop, tx, bits, secret) in [
-        (&a, tx_a, bits_a, &secret_a[..]),
-        (&b, tx_b, bits_b, &secret_b[..]),
-    ] {
+    for (laptop, tx, bits, secret) in
+        [(&a, tx_a, bits_a, &secret_a[..]), (&b, tx_b, bits_b, &secret_b[..])]
+    {
         let machine = laptop.machine();
         let expected = tx.expected_bit_period_on(&machine);
         let rx = RxConfig::new(laptop.switching_freq_hz, expected);
@@ -193,9 +183,7 @@ fn cw_interference_on_f_sw_is_survivable_until_agc_capture() {
         });
         let scenario = CovertScenario::for_laptop(&laptop, chain);
         let o = scenario.run(payload, 3);
-        o.alignment.ber()
-            + o.alignment.insertion_probability()
-            + o.alignment.deletion_probability()
+        o.alignment.ber() + o.alignment.insertion_probability() + o.alignment.deletion_probability()
     };
 
     let moderate = run_with(6.0);

@@ -54,11 +54,7 @@ fn burst_durations_reflect_keystroke_handling() {
     let scenario = KeylogScenario::standard(chain);
     let outcome = scenario.run("abcdef", 3);
     for b in &outcome.detection.bursts {
-        assert!(
-            (0.03..0.25).contains(&b.duration_s),
-            "burst duration {}",
-            b.duration_s
-        );
+        assert!((0.03..0.25).contains(&b.duration_s), "burst duration {}", b.duration_s);
     }
 }
 

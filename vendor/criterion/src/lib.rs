@@ -1,0 +1,313 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the macro and builder surface the `emsc-bench` harness
+//! uses — `criterion_group!` / `criterion_main!`, `Criterion::
+//! bench_function`, benchmark groups with `sample_size` /
+//! `measurement_time` / `throughput`, `bench_with_input`,
+//! `BenchmarkId` and `black_box` — backed by a simple median-of-samples
+//! wall-clock timer instead of criterion's statistical machinery.
+//!
+//! Each benchmark prints one line:
+//!
+//! ```text
+//! group/name              time:  [median 1.234 ms]  thrpt: [3.2 Melem/s]
+//! ```
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for a parameterised benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{name}/{parameter}") }
+    }
+
+    /// Just the parameter (the group name provides the prefix).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+/// Things accepted as a benchmark identifier.
+pub trait IntoBenchmarkId {
+    /// The rendered identifier.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// The per-iteration timing driver passed to benchmark closures.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Bencher {
+    fn with(sample_size: usize, measurement_time: Duration) -> Self {
+        Bencher { samples: Vec::new(), sample_size, measurement_time }
+    }
+
+    /// Times `routine`, collecting up to `sample_size` samples or
+    /// until the measurement budget runs out (whichever first).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // One warm-up call, untimed.
+        black_box(routine());
+        let budget_start = Instant::now();
+        for _ in 0..self.sample_size.max(1) {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.samples.push(t0.elapsed());
+            if budget_start.elapsed() > self.measurement_time {
+                break;
+            }
+        }
+    }
+
+    /// Like [`Bencher::iter`], but with a fresh input per sample.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+        let budget_start = Instant::now();
+        for _ in 0..self.sample_size.max(1) {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.samples.push(t0.elapsed());
+            if budget_start.elapsed() > self.measurement_time {
+                break;
+            }
+        }
+    }
+
+    fn median(&self) -> Duration {
+        if self.samples.is_empty() {
+            return Duration::ZERO;
+        }
+        let mut s = self.samples.clone();
+        s.sort();
+        s[s.len() / 2]
+    }
+}
+
+/// Batch sizing hint (ignored by this stand-in).
+#[derive(Debug, Clone, Copy, Default)]
+pub enum BatchSize {
+    /// One input per iteration.
+    #[default]
+    SmallInput,
+    /// Large inputs.
+    LargeInput,
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+fn report(id: &str, median: Duration, throughput: Option<Throughput>) {
+    let mut line = format!("{id:<48} time: [{}]", fmt_duration(median));
+    if let Some(tp) = throughput {
+        let secs = median.as_secs_f64().max(1e-12);
+        match tp {
+            Throughput::Elements(n) => {
+                line.push_str(&format!("  thrpt: [{:.2} Melem/s]", n as f64 / secs / 1e6));
+            }
+            Throughput::Bytes(n) => {
+                line.push_str(&format!(
+                    "  thrpt: [{:.2} MiB/s]",
+                    n as f64 / secs / (1 << 20) as f64
+                ));
+            }
+        }
+    }
+    println!("{line}");
+}
+
+/// The top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10, measurement_time: Duration::from_secs(3) }
+    }
+}
+
+impl Criterion {
+    /// Sets the default sample count per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the default measurement budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into_id();
+        let mut b = Bencher::with(self.sample_size, self.measurement_time);
+        f(&mut b);
+        report(&id, b.median(), None);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            throughput: None,
+            _parent: std::marker::PhantomData,
+        }
+    }
+
+    /// Compatibility no-op (CLI arg parsing in the real crate).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+    _parent: std::marker::PhantomData<&'a ()>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the sample count for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the measurement budget for benchmarks in this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, tp: Throughput) -> &mut Self {
+        self.throughput = Some(tp);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into_id());
+        let mut b = Bencher::with(self.sample_size, self.measurement_time);
+        f(&mut b);
+        report(&id, b.median(), self.throughput);
+        self
+    }
+
+    /// Runs one benchmark with an explicit input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = format!("{}/{}", self.name, id.into_id());
+        let mut b = Bencher::with(self.sample_size, self.measurement_time);
+        f(&mut b, input);
+        report(&id, b.median(), self.throughput);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into a group runner, as in criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $config;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Generates `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,148 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API this workspace's property
+//! tests use: the [`proptest!`] macro (with `#![proptest_config(..)]`
+//! headers), [`Strategy`] with `prop_map`, range and tuple strategies,
+//! [`collection::vec`], [`any`], [`prop_oneof!`], `prop_assert!` /
+//! `prop_assert_eq!`, and [`ProptestConfig::with_cases`].
+//!
+//! Differences from the real crate, by design:
+//!
+//! - **Deterministic**: every test case is generated from a seed
+//!   derived from the test name and case index, so failures reproduce
+//!   exactly on every run and every machine.
+//! - **No shrinking**: a failing case reports its case number and
+//!   message; it is not minimised.
+//! - **Default case count is 64** (the real default is 256); tests
+//!   that need more override it with `ProptestConfig::with_cases`.
+
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy};
+pub use test_runner::{ProptestConfig, TestCaseError, TestRng, TestRunner};
+
+/// The body of a generated property test: `Ok(())` on success, an
+/// error with a message when a `prop_assert!` fires.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Defines property tests.
+///
+/// ```ignore
+/// # // `#[test]` inside a doctest never runs; compile-check only.
+/// use proptest::prelude::*;
+///
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))]
+///
+///     #[test]
+///     fn addition_commutes(a in 0i64..1000, b in 0i64..1000) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { @cfg ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { @cfg ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Internal: expands each `#[test] fn name(pat in strategy, ..) { .. }`
+/// item of a [`proptest!`] block.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (@cfg ($($cfg:tt)*); ) => {};
+    (@cfg ($($cfg:tt)*);
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $($cfg)*;
+            let runner = $crate::TestRunner::new(config);
+            runner.run(
+                stringify!($name),
+                &($($strat,)+),
+                |($($pat,)+)| { $body Ok(()) },
+            );
+        }
+        $crate::__proptest_items! { @cfg ($($cfg)*); $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body, failing the case
+/// (with the generating inputs reported) instead of panicking.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}` (left: `{:?}`, right: `{:?}`)",
+            stringify!($lhs), stringify!($rhs), l, r
+        );
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(*l == *r, $($fmt)+);
+    }};
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}` (both: `{:?}`)",
+            stringify!($lhs),
+            stringify!($rhs),
+            l
+        );
+    }};
+}
+
+/// Rejects the current case (counts as a skip, not a failure).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return Err($crate::TestCaseError::reject(concat!(
+                "assumption failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+}
+
+/// Picks uniformly among several strategies of the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::Strategy::boxed($strat)),+
+        ])
+    };
+}

@@ -1,0 +1,277 @@
+//! Value-generation strategies.
+
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+/// A recipe for generating values of one type.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Generates one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through a function.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Keeps only values satisfying a predicate (retrying a bounded
+    /// number of times).
+    fn prop_filter<F>(self, whence: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter { inner: self, f, whence }
+    }
+
+    /// Erases the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy { inner: Rc::new(self) }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).new_value(rng)
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn new_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+#[derive(Debug, Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    f: F,
+    whence: &'static str,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn new_value(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.new_value(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter: predicate {} rejected 1000 candidates", self.whence);
+    }
+}
+
+/// Type-erased strategy handle (cheaply cloneable).
+#[derive(Clone)]
+pub struct BoxedStrategy<T> {
+    inner: Rc<dyn DynStrategy<T>>,
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        self.inner.dyn_new_value(rng)
+    }
+}
+
+trait DynStrategy<T> {
+    fn dyn_new_value(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn dyn_new_value(&self, rng: &mut TestRng) -> S::Value {
+        self.new_value(rng)
+    }
+}
+
+/// Uniform choice among several strategies — the engine behind
+/// `prop_oneof!`.
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Creates a union; panics if `options` is empty.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        let k = (rng.next_u64() % self.options.len() as u64) as usize;
+        self.options[k].new_value(rng)
+    }
+}
+
+// ---- Range strategies ----------------------------------------------------
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start() <= self.end(), "empty strategy range");
+                let span = (*self.end() as i128 - *self.start() as i128) as u128 + 1;
+                let v = (rng.next_u64() as u128) % span;
+                (*self.start() as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let unit = (rng.next_u64() >> 11) as $t * (1.0 / (1u64 << 53) as $t);
+                let v = self.start + unit * (self.end - self.start);
+                if v >= self.end { <$t>::from_bits(self.end.to_bits() - 1) } else { v }
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                let unit = (rng.next_u64() >> 11) as $t * (1.0 / ((1u64 << 53) - 1) as $t);
+                self.start() + unit * (self.end() - self.start())
+            }
+        }
+    )*};
+}
+float_range_strategy!(f32, f64);
+
+// ---- Tuple strategies ----------------------------------------------------
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.new_value(rng),)+)
+            }
+        }
+    };
+}
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+
+// ---- Arbitrary -----------------------------------------------------------
+
+/// Types with a canonical "whole domain" strategy, used via [`any`].
+pub trait Arbitrary: Sized {
+    /// The strategy [`any`] returns for this type.
+    type Strategy: Strategy<Value = Self>;
+    /// Builds that strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Full-domain uniform strategy for a primitive type.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AnyPrimitive<T>(std::marker::PhantomData<T>);
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for AnyPrimitive<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = AnyPrimitive<$t>;
+            fn arbitrary() -> Self::Strategy {
+                AnyPrimitive(std::marker::PhantomData)
+            }
+        }
+    )*};
+}
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for AnyPrimitive<bool> {
+    type Value = bool;
+    fn new_value(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = AnyPrimitive<bool>;
+    fn arbitrary() -> Self::Strategy {
+        AnyPrimitive(std::marker::PhantomData)
+    }
+}
+
+impl Strategy for AnyPrimitive<f64> {
+    type Value = f64;
+    fn new_value(&self, rng: &mut TestRng) -> f64 {
+        // Finite floats spanning a wide magnitude range, both signs.
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let exp = (rng.next_u64() % 61) as i32 - 30;
+        let sign = if rng.next_u64() & 1 == 1 { -1.0 } else { 1.0 };
+        sign * unit * 2f64.powi(exp)
+    }
+}
+
+impl Arbitrary for f64 {
+    type Strategy = AnyPrimitive<f64>;
+    fn arbitrary() -> Self::Strategy {
+        AnyPrimitive(std::marker::PhantomData)
+    }
+}
+
+/// The canonical strategy for a type: `any::<u8>()` etc.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}

@@ -1,0 +1,135 @@
+//! The standard distribution and uniform range sampling.
+
+use crate::RngCore;
+
+/// A distribution over values of type `T`.
+pub trait Distribution<T> {
+    /// Draws one value.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "natural" distribution for a type: uniform over all values for
+/// integers, uniform in `[0, 1)` for floats, a fair coin for `bool`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+impl Distribution<f64> for Standard {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 53 uniform mantissa bits → [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Distribution<bool> for Standard {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl Distribution<$t> for Standard {
+            #[inline]
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+pub mod uniform {
+    //! Uniform sampling over ranges, mirroring `rand::distributions::uniform`.
+
+    use crate::RngCore;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Types that can be sampled uniformly from a range.
+    pub trait SampleUniform: Sized + PartialOrd + Copy {
+        /// Uniform draw from `[lo, hi)`.
+        fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+        /// Uniform draw from `[lo, hi]`.
+        fn sample_closed<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+    }
+
+    macro_rules! uniform_int {
+        ($($t:ty => $wide:ty),*) => {$(
+            impl SampleUniform for $t {
+                #[inline]
+                fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                    assert!(lo < hi, "gen_range: empty range");
+                    let span = (hi as $wide).wrapping_sub(lo as $wide) as u64;
+                    // Multiply-shift rejection-free mapping (tiny bias
+                    // of < 2^-64 per draw, irrelevant at these spans).
+                    let v = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                    lo.wrapping_add(v as $t)
+                }
+                #[inline]
+                fn sample_closed<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                    assert!(lo <= hi, "gen_range: empty range");
+                    let span = (hi as $wide).wrapping_sub(lo as $wide) as u64;
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    let v = ((rng.next_u64() as u128 * (span as u128 + 1)) >> 64) as u64;
+                    lo.wrapping_add(v as $t)
+                }
+            }
+        )*};
+    }
+    uniform_int!(
+        u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+        i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64
+    );
+
+    macro_rules! uniform_float {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                #[inline]
+                fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                    assert!(lo < hi, "gen_range: empty range");
+                    let unit = (rng.next_u64() >> 11) as $t * (1.0 / (1u64 << 53) as $t);
+                    let v = lo + unit * (hi - lo);
+                    // Guard the open upper bound against rounding.
+                    if v >= hi { <$t>::from_bits(hi.to_bits() - 1) } else { v }
+                }
+                #[inline]
+                fn sample_closed<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                    assert!(lo <= hi, "gen_range: empty range");
+                    let unit = (rng.next_u64() >> 11) as $t * (1.0 / ((1u64 << 53) - 1) as $t);
+                    lo + unit * (hi - lo)
+                }
+            }
+        )*};
+    }
+    uniform_float!(f32, f64);
+
+    /// Range forms accepted by `Rng::gen_range`.
+    pub trait SampleRange<T: SampleUniform> {
+        /// Draws one uniform value from the range.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for Range<T> {
+        #[inline]
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            T::sample_half_open(rng, self.start, self.end)
+        }
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+        #[inline]
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            T::sample_closed(rng, *self.start(), *self.end())
+        }
+    }
+}

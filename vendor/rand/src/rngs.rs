@@ -1,0 +1,88 @@
+//! Concrete generators. The workspace only uses [`StdRng`].
+
+use crate::{RngCore, SeedableRng};
+
+/// The workspace's standard generator: xoshiro256**.
+///
+/// The real `rand::rngs::StdRng` is ChaCha12; xoshiro256** is a much
+/// smaller dependency-free generator with excellent statistical
+/// quality (it passes BigCrush) and the same `SeedableRng` interface.
+/// Streams are deterministic per seed but *different* from ChaCha12's.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl StdRng {
+    #[inline]
+    fn step(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+impl RngCore for StdRng {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (self.step() >> 32) as u32
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.step()
+    }
+}
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut s = [0u64; 4];
+        for (i, chunk) in seed.chunks_exact(8).enumerate() {
+            s[i] = u64::from_le_bytes(chunk.try_into().unwrap());
+        }
+        // An all-zero state is the one fixed point of xoshiro; nudge it.
+        if s == [0, 0, 0, 0] {
+            s = [
+                0x9E37_79B9_7F4A_7C15,
+                0x6A09_E667_F3BC_C909,
+                0xBB67_AE85_84CA_A73B,
+                0x3C6E_F372_FE94_F82B,
+            ];
+        }
+        StdRng { s }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_seed_does_not_stick_at_zero() {
+        let mut rng = StdRng::from_seed([0u8; 32]);
+        assert!((0..8).any(|_| rng.next_u64() != 0));
+    }
+
+    #[test]
+    fn from_seed_uses_all_bytes() {
+        // xoshiro's first output depends only on s[1], so a change in
+        // the last seed word takes a few steps to surface; compare a
+        // short stream prefix rather than a single draw.
+        let mut a = [1u8; 32];
+        let b = [1u8; 32];
+        a[31] = 2;
+        let mut ra = StdRng::from_seed(a);
+        let mut rb = StdRng::from_seed(b);
+        let sa: Vec<u64> = (0..4).map(|_| ra.next_u64()).collect();
+        let sb: Vec<u64> = (0..4).map(|_| rb.next_u64()).collect();
+        assert_ne!(sa, sb);
+    }
+}

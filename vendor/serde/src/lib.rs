@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace's `serde` integration is entirely behind per-crate
+//! off-by-default `serde` features (`cfg_attr(feature = "serde",
+//! derive(serde::Serialize, serde::Deserialize))`). Those features
+//! cannot be enabled against this stand-in (it ships no derive
+//! macros); its only job is to let Cargo resolve the optional
+//! dependency edge in an environment with no registry access.
+//!
+//! If a future PR needs real serialization, the experiment runners
+//! already write their own JSON by hand (see the `perf_report`
+//! example) — that path needs no serde at all.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+/// Marker trait standing in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
