@@ -2,9 +2,10 @@
 
 use emsc_covert::frame::{deframe, Deframed, FrameConfig};
 use emsc_covert::metrics::{align_semiglobal, Alignment};
-use emsc_covert::rx::{Receiver, RxConfig, RxReport};
+use emsc_covert::rx::{Receiver, RxConfig, RxError, RxReport};
 use emsc_covert::tx::{Transmitter, TxConfig};
 use emsc_pmu::workload::Program;
+use emsc_sdr::impair::{apply_all, Impairment};
 
 use crate::chain::{Chain, ChainRun};
 use crate::laptop::Laptop;
@@ -34,6 +35,11 @@ pub struct CovertOutcome {
     pub chain_run: ChainRun,
     /// Measured transmission rate: on-air bits over the time they took.
     pub transmission_rate_bps: f64,
+    /// Why the receiver failed, when it did. `None` for a successful
+    /// decode (even an empty one); `Some` means `report` is the empty
+    /// placeholder and every received-side metric counts the whole
+    /// transmission as lost.
+    pub rx_error: Option<RxError>,
 }
 
 impl CovertOutcome {
@@ -83,6 +89,20 @@ impl CovertScenario {
 
     /// Transmits `payload` and demodulates it; deterministic per seed.
     pub fn run(&self, payload: &[u8], seed: u64) -> CovertOutcome {
+        self.run_impaired(payload, seed, &[], 0)
+    }
+
+    /// Like [`CovertScenario::run`], but corrupts the capture with the
+    /// given channel impairments (via [`emsc_sdr::impair::apply_all`]
+    /// under `impair_seed`) before handing it to the receiver. With an
+    /// empty impairment list this is exactly [`CovertScenario::run`].
+    pub fn run_impaired(
+        &self,
+        payload: &[u8],
+        seed: u64,
+        impairments: &[Impairment],
+        impair_seed: u64,
+    ) -> CovertOutcome {
         let transmitter = Transmitter::new(self.tx);
         let tx_bits = transmitter.on_air_bits(payload);
 
@@ -92,9 +112,17 @@ impl CovertScenario {
         program.extend(transmitter.program_for_bits(&tx_bits).ops().iter().copied());
         program.sleep(LEAD_SILENCE_S);
 
-        let chain_run = self.chain.run_program(&program, seed);
+        let mut chain_run = self.chain.run_program(&program, seed);
+        apply_all(&mut chain_run.capture, impairments, impair_seed);
         let receiver = Receiver::new(self.rx.clone());
-        let report = receiver.demodulate(&chain_run.capture);
+        // A decode failure (truncated / corrupt / carrier-less capture)
+        // degrades to the empty report so the scenario still yields an
+        // outcome — the grid cell records the error instead of
+        // panicking the whole experiment.
+        let (report, rx_error) = match receiver.receive(&chain_run.capture) {
+            Ok(r) => (r, None),
+            Err(e) => (RxReport::empty(0.0), Some(e)),
+        };
         let alignment = align_semiglobal(&tx_bits, &report.bits);
         let deframed = deframe(&report.bits, self.tx.frame, 1);
 
@@ -103,7 +131,15 @@ impl CovertScenario {
         let transmission_rate_bps =
             if air_time > 0.0 { tx_bits.len() as f64 / air_time } else { 0.0 };
 
-        CovertOutcome { tx_bits, report, alignment, deframed, chain_run, transmission_rate_bps }
+        CovertOutcome {
+            tx_bits,
+            report,
+            alignment,
+            deframed,
+            chain_run,
+            transmission_rate_bps,
+            rx_error,
+        }
     }
 
     /// Transmits a raw, already-framed bit sequence (e.g. the output
@@ -153,6 +189,7 @@ mod tests {
         // DVFS warm-up region, so the BER bound is looser than the
         // long-stream Table II numbers.
         assert!(outcome.alignment.ber() < 0.06, "BER {}", outcome.alignment.ber());
+        assert!(outcome.rx_error.is_none(), "unexpected decode failure: {:?}", outcome.rx_error);
     }
 
     #[test]

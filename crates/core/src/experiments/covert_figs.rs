@@ -138,7 +138,9 @@ pub fn fig6(seed: u64) -> Fig6 {
         .copied()
         .filter(|&d| d < 1.8 * outcome.report.bit_period_s)
         .collect();
-    let fit = RayleighFit::fit(&distances);
+    // A decode that produced no inter-start distances (e.g. a fully
+    // impaired capture) degrades to a flat fit instead of panicking.
+    let fit = RayleighFit::try_fit(&distances).unwrap_or(RayleighFit { location: 0.0, sigma: 0.0 });
     Fig6 {
         skewness: skewness(&distances),
         median_s: outcome.report.bit_period_s,

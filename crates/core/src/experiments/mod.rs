@@ -24,9 +24,11 @@
 //! | Fig. 11 (keylog spectrogram) | [`spectral::fig11`] |
 //! | Table IV (keylogging accuracy) | [`keylog_table::table4`] |
 //! | E1/E2 (extensions: fingerprinting, timing) | [`extensions`] |
+//! | E3 (BER vs. channel impairments) | [`impairments::impairment_sweep`] |
 
 pub mod covert_figs;
 pub mod extensions;
+pub mod impairments;
 pub mod keylog_table;
 pub mod spectral;
 pub mod tables;

@@ -35,7 +35,7 @@ impl TableScale {
     }
 }
 
-fn pseudo_payload(len: usize, seed: u64) -> Vec<u8> {
+pub(crate) fn pseudo_payload(len: usize, seed: u64) -> Vec<u8> {
     let mut state = seed ^ 0x243F_6A88_85A3_08D3;
     (0..len)
         .map(|_| {
@@ -83,6 +83,10 @@ pub struct ChannelRow {
     /// Fraction of runs whose payload was exactly recovered after
     /// parity correction.
     pub recovery_rate: f64,
+    /// Number of runs the receiver could not decode at all (typed
+    /// `RxError`): those runs contribute an all-lost alignment to the
+    /// averages instead of aborting the grid.
+    pub decode_failures: usize,
 }
 
 /// Channel statistics of one averaging run (one grid cell).
@@ -92,6 +96,7 @@ struct RunStats {
     ip: f64,
     dp: f64,
     recovered: bool,
+    decode_failed: bool,
 }
 
 /// One averaging run of a covert transfer — the independent unit the
@@ -113,6 +118,7 @@ fn channel_cell(
         ip: outcome.alignment.insertion_probability(),
         dp: outcome.alignment.deletion_probability(),
         recovered: outcome.recovered(&payload),
+        decode_failed: outcome.rx_error.is_some(),
     }
 }
 
@@ -125,6 +131,7 @@ fn reduce_cells(label: &str, cells: &[RunStats]) -> ChannelRow {
     let mut ip = 0.0;
     let mut dp = 0.0;
     let mut recovered = 0usize;
+    let mut decode_failures = 0usize;
     for c in cells {
         ber += c.ber;
         tr += c.tr_bps;
@@ -132,6 +139,9 @@ fn reduce_cells(label: &str, cells: &[RunStats]) -> ChannelRow {
         dp += c.dp;
         if c.recovered {
             recovered += 1;
+        }
+        if c.decode_failed {
+            decode_failures += 1;
         }
     }
     let n = cells.len().max(1) as f64;
@@ -142,6 +152,7 @@ fn reduce_cells(label: &str, cells: &[RunStats]) -> ChannelRow {
         ip: ip / n,
         dp: dp / n,
         recovery_rate: recovered as f64 / n,
+        decode_failures,
     }
 }
 
@@ -299,6 +310,7 @@ fn multicore_background_cell(
         ..emsc_covert::rx::RxConfig::new(chain.switching_freq_hz(), expected)
     };
     let package = MultiCoreMachine::new(chain.machine.clone(), 2);
+    let rx = Receiver::new(rx_cfg);
 
     let payload = pseudo_payload(payload_bytes, seed + run as u64);
     let transmitter = Transmitter::new(tx);
@@ -319,7 +331,9 @@ fn multicore_background_cell(
     );
     let trace = package.run(&[program, hog], seed + 1000 * run as u64);
     let chain_run = chain.run_trace(trace, seed + 1000 * run as u64);
-    let report = Receiver::new(rx_cfg).demodulate(&chain_run.capture);
+    let received = rx.receive(&chain_run.capture);
+    let decode_failed = received.is_err();
+    let report = received.unwrap_or_else(|_| emsc_covert::rx::RxReport::empty(0.0));
     let alignment = align_semiglobal(&tx_bits, &report.bits);
     let air = chain_run.trace.duration_s();
     RunStats {
@@ -329,6 +343,7 @@ fn multicore_background_cell(
         dp: alignment.deletion_probability(),
         recovered: emsc_covert::frame::deframe(&report.bits, tx.frame, 1)
             .is_some_and(|d| d.payload == payload),
+        decode_failed,
     }
 }
 

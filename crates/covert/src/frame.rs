@@ -87,13 +87,57 @@ pub struct Deframed {
     pub corrections: usize,
 }
 
+/// Why a received bit stream could not be deframed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameError {
+    /// No start marker was found within the error tolerance — either
+    /// nothing was transmitted or sync was lost before the marker.
+    MarkerNotFound,
+    /// A marker was found but the stream ends before the 16-bit
+    /// length header completes, so the payload size is unknown.
+    TruncatedHeader,
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::MarkerNotFound => write!(f, "start marker not found in received stream"),
+            FrameError::TruncatedHeader => {
+                write!(f, "stream truncated inside the frame length header")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
 /// Locates the start marker in a received bit stream (tolerating up to
 /// `max_marker_errors` bit errors in the marker itself) and decodes
 /// the payload that follows. Returns `None` if no marker is found.
+///
+/// Thin wrapper over [`try_deframe`] for callers that only care
+/// whether a frame was recovered, not why it was not.
 pub fn deframe(received: &[u8], config: FrameConfig, max_marker_errors: usize) -> Option<Deframed> {
+    try_deframe(received, config, max_marker_errors).ok()
+}
+
+/// Fallible deframing: like [`deframe`] but reporting *why* recovery
+/// failed, so experiments can distinguish "no transmission detected"
+/// from "transmission cut off mid-frame".
+///
+/// # Errors
+///
+/// [`FrameError::MarkerNotFound`] when no start marker matches within
+/// `max_marker_errors`; [`FrameError::TruncatedHeader`] when the
+/// stream ends inside the length header.
+pub fn try_deframe(
+    received: &[u8],
+    config: FrameConfig,
+    max_marker_errors: usize,
+) -> Result<Deframed, FrameError> {
     let m = START_MARKER.len();
     if received.len() < m {
-        return None;
+        return Err(FrameError::MarkerNotFound);
     }
     let mut best: Option<(usize, usize)> = None; // (errors, position)
     for pos in 0..=received.len() - m {
@@ -109,7 +153,7 @@ pub fn deframe(received: &[u8], config: FrameConfig, max_marker_errors: usize) -
             }
         }
     }
-    let (_, pos) = best?;
+    let (_, pos) = best.ok_or(FrameError::MarkerNotFound)?;
     let payload_start = pos + m;
     let body = &received[payload_start..];
     // Decode just the 16-bit length prefix first, then exactly the
@@ -135,7 +179,7 @@ pub fn deframe(received: &[u8], config: FrameConfig, max_marker_errors: usize) -
     };
     let header = bits_to_bytes(&header_bits);
     if header.len() < 2 {
-        return None;
+        return Err(FrameError::TruncatedHeader);
     }
     let declared = u16::from_be_bytes([header[0], header[1]]) as usize;
     let body_span = if config.parity { declared * 8 / 4 * 7 } else { declared * 8 };
@@ -143,7 +187,7 @@ pub fn deframe(received: &[u8], config: FrameConfig, max_marker_errors: usize) -
     let (bits, corrections) = if config.parity { decode_bits(rest) } else { (rest.to_vec(), 0) };
     let mut bytes = bits_to_bytes(&bits);
     bytes.truncate(declared);
-    Some(Deframed { payload: bytes, payload_start, corrections: corrections + header_corrections })
+    Ok(Deframed { payload: bytes, payload_start, corrections: corrections + header_corrections })
 }
 
 #[cfg(test)]
@@ -215,6 +259,30 @@ mod tests {
         let cfg = FrameConfig::default();
         let stream = vec![0u8; 64];
         assert!(deframe(&stream, cfg, 0).is_none());
+        assert_eq!(try_deframe(&stream, cfg, 0), Err(FrameError::MarkerNotFound));
+    }
+
+    #[test]
+    fn try_deframe_distinguishes_truncation_from_no_marker() {
+        let cfg = FrameConfig::default();
+        // Too short to even hold the marker.
+        assert_eq!(try_deframe(&[1, 0, 1], cfg, 0), Err(FrameError::MarkerNotFound));
+        // Marker present but the stream ends inside the length header.
+        let mut bits = frame_payload(b"xy", cfg);
+        let header_end = cfg.sync_len + cfg.zeros_len + START_MARKER.len() + 5;
+        bits.truncate(header_end);
+        assert_eq!(try_deframe(&bits, cfg, 0), Err(FrameError::TruncatedHeader));
+        // And the panic-free wrapper agrees.
+        assert!(deframe(&bits, cfg, 0).is_none());
+    }
+
+    #[test]
+    fn try_deframe_round_trip_matches_deframe() {
+        let cfg = FrameConfig::default();
+        let bits = frame_payload(b"parity!", cfg);
+        let a = try_deframe(&bits, cfg, 0).expect("frame");
+        let b = deframe(&bits, cfg, 0).expect("frame");
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -38,6 +38,7 @@ pub mod packets;
 pub mod rx;
 pub mod tx;
 
+pub use frame::FrameError;
 pub use metrics::{align, align_semiglobal, align_trace, AlignOp, Alignment};
-pub use rx::{Receiver, RxConfig, RxReport};
+pub use rx::{Receiver, RxConfig, RxError, RxReport};
 pub use tx::{Transmitter, TxConfig};

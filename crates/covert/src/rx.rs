@@ -19,10 +19,56 @@
 //! can regenerate the paper's figures (C-INTERMEDIATE).
 
 use emsc_sdr::dsp::{convolve_same, edge_kernel, find_peaks, moving_average};
+use emsc_sdr::error::CaptureError;
 use emsc_sdr::fft::frequency_bin;
-use emsc_sdr::sliding::energy_signal;
+use emsc_sdr::sliding::try_energy_signal;
 use emsc_sdr::stats::{median, quantile, Histogram};
 use emsc_sdr::Capture;
+
+/// Why the receiver could not demodulate a capture.
+///
+/// `Copy`/`Eq` so experiment grids can carry per-cell decode failures
+/// through `Clone`d outcome structs and compare them bit-for-bit in
+/// determinism tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RxError {
+    /// The receiver configuration violates an invariant (the message
+    /// names it).
+    InvalidConfig(&'static str),
+    /// The capture itself is unusable (empty, too short for one
+    /// analysis window, majority-non-finite, bad sample rate).
+    Capture(CaptureError),
+    /// No configured VRM harmonic falls inside the captured band, so
+    /// there is no carrier to track.
+    NoCarrier,
+}
+
+impl std::fmt::Display for RxError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RxError::InvalidConfig(msg) => write!(f, "invalid receiver configuration: {msg}"),
+            RxError::Capture(e) => write!(f, "unusable capture: {e}"),
+            RxError::NoCarrier => {
+                write!(f, "no VRM harmonic falls inside the captured band")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RxError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RxError::Capture(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CaptureError> for RxError {
+    fn from(e: CaptureError) -> Self {
+        RxError::Capture(e)
+    }
+}
 
 /// Which per-bit statistic the labeler thresholds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -131,6 +177,9 @@ pub struct RxReport {
     pub threshold_modes: Option<(f64, f64)>,
     /// Demodulated bits.
     pub bits: Vec<u8>,
+    /// Number of non-finite capture samples zeroed before analysis
+    /// (0 for a clean capture).
+    pub sanitized_samples: usize,
 }
 
 impl RxReport {
@@ -140,6 +189,27 @@ impl RxReport {
             1.0 / self.bit_period_s
         } else {
             0.0
+        }
+    }
+
+    /// The explicit "nothing decoded" report: every intermediate
+    /// empty, zero period and threshold. This is what the panic-free
+    /// wrappers return when [`Receiver::receive`] fails, so legacy
+    /// callers see an empty bit stream instead of a crash.
+    pub fn empty(energy_dt_s: f64) -> Self {
+        RxReport {
+            energy: Vec::new(),
+            energy_dt_s,
+            edge_response: Vec::new(),
+            raw_starts: Vec::new(),
+            starts: Vec::new(),
+            distances_s: Vec::new(),
+            bit_period_s: 0.0,
+            powers: Vec::new(),
+            threshold: 0.0,
+            threshold_modes: None,
+            bits: Vec::new(),
+            sanitized_samples: 0,
         }
     }
 }
@@ -225,9 +295,46 @@ impl Receiver {
         Receiver { config }
     }
 
+    /// Fallible variant of [`Receiver::new`]: reports a degenerate
+    /// configuration as [`RxError::InvalidConfig`] instead of
+    /// panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RxError::InvalidConfig`] naming the violated
+    /// invariant.
+    pub fn try_new(config: RxConfig) -> Result<Self, RxError> {
+        if !config.fft_size.is_power_of_two() {
+            return Err(RxError::InvalidConfig("FFT size must be a power of two"));
+        }
+        if config.decimation == 0 {
+            return Err(RxError::InvalidConfig("decimation must be positive"));
+        }
+        if config.harmonics == 0 {
+            return Err(RxError::InvalidConfig("need at least the fundamental in S"));
+        }
+        if !(config.expected_bit_period_s > 0.0 && config.expected_bit_period_s.is_finite()) {
+            return Err(RxError::InvalidConfig("bit period must be positive"));
+        }
+        if !(config.switching_freq_hz.is_finite()) {
+            return Err(RxError::InvalidConfig("switching frequency must be finite"));
+        }
+        Ok(Receiver { config })
+    }
+
     /// The configuration in use.
     pub fn config(&self) -> &RxConfig {
         &self.config
+    }
+
+    /// The harmonic bins of `S` that fall inside the captured band.
+    fn carrier_bins(&self, capture: &Capture) -> Vec<usize> {
+        let cfg = &self.config;
+        (1..=cfg.harmonics)
+            .map(|h| cfg.switching_freq_hz * h as f64)
+            .filter(|f| (f - capture.center_freq).abs() < capture.sample_rate / 2.0)
+            .map(|f| frequency_bin(f - capture.center_freq, cfg.fft_size, capture.sample_rate))
+            .collect()
     }
 
     /// Demodulates a capture *blind*: the bit period is estimated from
@@ -235,36 +342,86 @@ impl Receiver {
     /// the sync preamble) instead of taken from configuration. The
     /// attacker needs only the VRM frequency, which
     /// [`find_switching_frequency`] recovers from the spectrum.
+    ///
+    /// Panic-free wrapper over [`Receiver::receive_blind`]: any decode
+    /// failure degrades to [`RxReport::empty`].
     pub fn demodulate_blind(&self, capture: &Capture) -> RxReport {
+        self.receive_blind(capture).unwrap_or_else(|_| RxReport::empty(0.0))
+    }
+
+    /// Fallible blind demodulation: estimates the bit period from the
+    /// capture, then runs [`Receiver::receive`] with it.
+    ///
+    /// # Errors
+    ///
+    /// The same failures as [`Receiver::receive`]; the period
+    /// estimation itself cannot fail (it falls back to the configured
+    /// prior when no periodicity stands out).
+    pub fn receive_blind(&self, capture: &Capture) -> Result<RxReport, RxError> {
         let cfg = &self.config;
+        if !(capture.sample_rate > 0.0 && capture.sample_rate.is_finite()) {
+            return Err(RxError::Capture(CaptureError::InvalidSampleRate));
+        }
         let dt = cfg.decimation as f64 / capture.sample_rate;
-        let bins: Vec<usize> = (1..=cfg.harmonics)
-            .map(|h| cfg.switching_freq_hz * h as f64)
-            .filter(|f| (f - capture.center_freq).abs() < capture.sample_rate / 2.0)
-            .map(|f| frequency_bin(f - capture.center_freq, cfg.fft_size, capture.sample_rate))
-            .collect();
-        let energy_raw = energy_signal(&capture.samples, cfg.fft_size, &bins, cfg.decimation);
-        let energy = moving_average(&energy_raw, 3);
+        let bins = self.carrier_bins(capture);
+        if bins.is_empty() {
+            return Err(RxError::NoCarrier);
+        }
+        let energy_raw = try_energy_signal(&capture.samples, cfg.fft_size, &bins, cfg.decimation)?;
+        let energy = moving_average(&energy_raw.samples, 3);
         // Plausible covert bit periods: 50 µs – 5 ms.
         let estimated =
             estimate_bit_period(&energy, dt, 50e-6, 5e-3).unwrap_or(cfg.expected_bit_period_s);
-        let tuned = Receiver::new(RxConfig { expected_bit_period_s: estimated, ..cfg.clone() });
-        tuned.demodulate(capture)
+        let tuned =
+            Receiver::try_new(RxConfig { expected_bit_period_s: estimated, ..cfg.clone() })?;
+        tuned.receive(capture)
     }
 
     /// Runs the full pipeline over a capture.
+    ///
+    /// Panic-free wrapper over [`Receiver::receive`]: any decode
+    /// failure degrades to [`RxReport::empty`] (no bits, zero period)
+    /// instead of crashing, so batch callers keep their grid alive.
     pub fn demodulate(&self, capture: &Capture) -> RxReport {
+        let dt = if capture.sample_rate > 0.0 && capture.sample_rate.is_finite() {
+            self.config.decimation as f64 / capture.sample_rate
+        } else {
+            0.0
+        };
+        self.receive(capture).unwrap_or_else(|_| RxReport::empty(dt))
+    }
+
+    /// Runs the full §IV-B pipeline over a capture, reporting failure
+    /// as a typed [`RxError`] instead of panicking.
+    ///
+    /// A *silent* capture (carrier present in configuration but no
+    /// transmission) is **not** an error: it produces `Ok` with an
+    /// empty bit vector, since "nothing was sent" is a legitimate
+    /// decode result. Errors are reserved for captures that cannot be
+    /// analysed at all.
+    ///
+    /// # Errors
+    ///
+    /// - [`RxError::Capture`] for an empty capture, one shorter than a
+    ///   single analysis window, a majority-non-finite capture, or a
+    ///   non-positive sample rate;
+    /// - [`RxError::NoCarrier`] when no configured VRM harmonic falls
+    ///   inside the captured band.
+    pub fn receive(&self, capture: &Capture) -> Result<RxReport, RxError> {
         let cfg = &self.config;
+        if !(capture.sample_rate > 0.0 && capture.sample_rate.is_finite()) {
+            return Err(RxError::Capture(CaptureError::InvalidSampleRate));
+        }
         let dt = cfg.decimation as f64 / capture.sample_rate;
 
         // Stage 1: Eq. (1) energy signal over S = {f_sw, 2 f_sw, …}.
-        let bins: Vec<usize> = (1..=cfg.harmonics)
-            .map(|h| cfg.switching_freq_hz * h as f64)
-            .filter(|f| (f - capture.center_freq).abs() < capture.sample_rate / 2.0)
-            .map(|f| frequency_bin(f - capture.center_freq, cfg.fft_size, capture.sample_rate))
-            .collect();
-        let energy_raw = energy_signal(&capture.samples, cfg.fft_size, &bins, cfg.decimation);
-        let energy = moving_average(&energy_raw, 3);
+        let bins = self.carrier_bins(capture);
+        if bins.is_empty() {
+            return Err(RxError::NoCarrier);
+        }
+        let energy_raw = try_energy_signal(&capture.samples, cfg.fft_size, &bins, cfg.decimation)?;
+        let sanitized_samples = energy_raw.sanitized;
+        let energy = moving_average(&energy_raw.samples, 3);
 
         // Stage 2: edge detection.
         let expected_bit = (cfg.expected_bit_period_s / dt).max(4.0);
@@ -361,7 +518,7 @@ impl Receiver {
                 .collect(),
         };
 
-        RxReport {
+        Ok(RxReport {
             energy,
             energy_dt_s: dt,
             edge_response,
@@ -373,7 +530,8 @@ impl Receiver {
             threshold,
             threshold_modes,
             bits,
-        }
+            sanitized_samples,
+        })
     }
 }
 
@@ -442,8 +600,12 @@ fn select_threshold(powers: &[f64]) -> (f64, Option<(f64, f64)>) {
     if powers.is_empty() {
         return (0.0, None);
     }
-    let hist = Histogram::from_data(powers, 48.min(powers.len().max(2)));
-    if let Some((lo, hi)) = hist.two_modes() {
+    // `try_from_data` only fails on all-non-finite powers; fall back
+    // to the quantile mid-range in that (pathological) case.
+    let modes = Histogram::try_from_data(powers, 48.min(powers.len().max(2)))
+        .ok()
+        .and_then(|h| h.two_modes());
+    if let Some((lo, hi)) = modes {
         ((lo + hi) / 2.0, Some((lo, hi)))
     } else {
         let lo = quantile(powers, 0.05);
@@ -660,5 +822,102 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn bad_fft_size_panics() {
         Receiver::new(RxConfig { fft_size: 1000, ..RxConfig::new(970e3, 300e-6) });
+    }
+
+    #[test]
+    fn try_new_reports_config_errors() {
+        let bad = RxConfig { fft_size: 1000, ..RxConfig::new(970e3, 300e-6) };
+        assert!(matches!(Receiver::try_new(bad), Err(RxError::InvalidConfig(_))));
+        let bad = RxConfig { decimation: 0, ..RxConfig::new(970e3, 300e-6) };
+        assert!(matches!(Receiver::try_new(bad), Err(RxError::InvalidConfig(_))));
+        let bad = RxConfig { harmonics: 0, ..RxConfig::new(970e3, 300e-6) };
+        assert!(matches!(Receiver::try_new(bad), Err(RxError::InvalidConfig(_))));
+        assert!(Receiver::try_new(RxConfig::new(970e3, 300e-6)).is_ok());
+    }
+
+    #[test]
+    fn receive_matches_demodulate_on_clean_captures() {
+        let bits = vec![1, 0, 1, 1, 0, 0, 1, 0];
+        let cap = ook_capture(&bits, 400e-6, 2.4e6, -0.4e6, 1.0, 0.02);
+        let rx = test_receiver(400e-6);
+        let report = rx.receive(&cap).expect("clean capture must decode");
+        assert_eq!(report, rx.demodulate(&cap));
+        assert_eq!(report.sanitized_samples, 0);
+    }
+
+    #[test]
+    fn receive_classifies_degenerate_captures() {
+        let rx = test_receiver(400e-6);
+        let empty = Capture { samples: Vec::new(), sample_rate: 2.4e6, center_freq: 1.5e6 };
+        assert_eq!(rx.receive(&empty), Err(RxError::Capture(CaptureError::Empty)));
+        let short =
+            Capture { samples: vec![Complex::ZERO; 100], sample_rate: 2.4e6, center_freq: 1.5e6 };
+        assert_eq!(
+            rx.receive(&short),
+            Err(RxError::Capture(CaptureError::TooShort { needed: 256, got: 100 }))
+        );
+        let bad_rate =
+            Capture { samples: vec![Complex::ZERO; 1000], sample_rate: 0.0, center_freq: 1.5e6 };
+        assert_eq!(rx.receive(&bad_rate), Err(RxError::Capture(CaptureError::InvalidSampleRate)));
+        // Carrier out of band: tuner parked far from every harmonic.
+        let off_band = Capture {
+            samples: vec![Complex::ZERO; 10_000],
+            sample_rate: 2.4e6,
+            center_freq: 100e6,
+        };
+        assert_eq!(rx.receive(&off_band), Err(RxError::NoCarrier));
+    }
+
+    #[test]
+    fn silence_is_an_ok_empty_decode_not_an_error() {
+        let rx = test_receiver(400e-6);
+        let silence = Capture {
+            samples: vec![Complex::ZERO; 50_000],
+            sample_rate: 2.4e6,
+            center_freq: 1.5e6,
+        };
+        let report = rx.receive(&silence).expect("silence is a valid (empty) decode");
+        assert!(report.bits.is_empty());
+    }
+
+    #[test]
+    fn nan_laced_capture_decodes_with_sanitization() {
+        let bits = vec![1, 0, 1, 1, 0, 0, 1, 0, 1, 1, 1, 0];
+        let mut cap = ook_capture(&bits, 400e-6, 2.4e6, -0.4e6, 1.0, 0.02);
+        // A sprinkle of NaN (far fewer than half the samples).
+        for i in (0..cap.samples.len()).step_by(5000) {
+            cap.samples[i] = Complex::new(f64::NAN, f64::INFINITY);
+        }
+        let report = test_receiver(400e-6).receive(&cap).expect("minority NaN is recoverable");
+        assert!(report.sanitized_samples > 0);
+        assert!(report.bits.iter().all(|&b| b <= 1));
+        // All-NaN is not recoverable.
+        for s in &mut cap.samples {
+            *s = Complex::new(f64::NAN, f64::NAN);
+        }
+        assert!(matches!(
+            test_receiver(400e-6).receive(&cap),
+            Err(RxError::Capture(CaptureError::NonFinite { .. }))
+        ));
+    }
+
+    #[test]
+    fn demodulate_wrappers_degrade_to_empty_reports() {
+        let rx = test_receiver(400e-6);
+        let empty = Capture { samples: Vec::new(), sample_rate: 2.4e6, center_freq: 1.5e6 };
+        assert_eq!(rx.demodulate(&empty).bits, Vec::<u8>::new());
+        assert_eq!(rx.demodulate_blind(&empty).bits, Vec::<u8>::new());
+        let bad_rate =
+            Capture { samples: vec![Complex::ZERO; 16], sample_rate: f64::NAN, center_freq: 0.0 };
+        assert!(rx.demodulate(&bad_rate).bits.is_empty());
+    }
+
+    #[test]
+    fn rx_error_display_names_the_cause() {
+        let e = RxError::Capture(CaptureError::TooShort { needed: 256, got: 3 });
+        assert!(e.to_string().contains("256"));
+        assert!(RxError::NoCarrier.to_string().contains("band"));
+        use std::error::Error;
+        assert!(e.source().is_some());
     }
 }

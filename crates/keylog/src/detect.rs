@@ -7,10 +7,46 @@
 //! consecutive active windows are grouped into bursts; and bursts
 //! shorter than 30 ms are discarded as non-keystroke activity.
 
+use emsc_sdr::error::CaptureError;
 use emsc_sdr::stats::{quantile, Histogram};
 use emsc_sdr::stft::{stft, StftConfig};
 use emsc_sdr::window::Window;
 use emsc_sdr::Capture;
+
+/// Why keystroke detection could not run over a capture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DetectError {
+    /// The detector configuration violates an invariant (the message
+    /// names it).
+    InvalidConfig(&'static str),
+    /// The capture itself is unusable (empty, shorter than one STFT
+    /// window, majority-non-finite, bad sample rate).
+    Capture(CaptureError),
+}
+
+impl std::fmt::Display for DetectError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DetectError::InvalidConfig(msg) => write!(f, "invalid detector configuration: {msg}"),
+            DetectError::Capture(e) => write!(f, "unusable capture: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DetectError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DetectError::Capture(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CaptureError> for DetectError {
+    fn from(e: CaptureError) -> Self {
+        DetectError::Capture(e)
+    }
+}
 
 /// Detector configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -127,6 +163,27 @@ impl Detector {
         Detector { config }
     }
 
+    /// Fallible variant of [`Detector::new`]: reports a degenerate
+    /// configuration as [`DetectError::InvalidConfig`] instead of
+    /// panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DetectError::InvalidConfig`] naming the violated
+    /// invariant.
+    pub fn try_new(config: DetectorConfig) -> Result<Self, DetectError> {
+        if !config.window_samples.is_power_of_two() {
+            return Err(DetectError::InvalidConfig("window must be a power of two"));
+        }
+        if config.harmonics == 0 {
+            return Err(DetectError::InvalidConfig("need at least the fundamental"));
+        }
+        if config.min_burst_s.is_nan() || config.min_burst_s < 0.0 {
+            return Err(DetectError::InvalidConfig("burst filter must be non-negative"));
+        }
+        Ok(Detector { config })
+    }
+
     /// The configuration in use.
     pub fn config(&self) -> &DetectorConfig {
         &self.config
@@ -151,10 +208,62 @@ impl Detector {
     }
 
     /// Runs detection over a capture.
+    ///
+    /// Panic-free wrapper over [`Detector::try_detect`]: an unusable
+    /// capture degrades to an empty report (no bursts) instead of a
+    /// crash.
     pub fn detect(&self, capture: &Capture) -> DetectionReport {
-        let window_energy = self.window_energies(capture);
+        self.try_detect(capture).unwrap_or_else(|_| DetectionReport {
+            window_energy: Vec::new(),
+            window_s: 0.0,
+            threshold: 0.0,
+            bursts: Vec::new(),
+            rejected: Vec::new(),
+        })
+    }
+
+    /// Fallible detection: like [`Detector::detect`] but reporting an
+    /// unusable capture as a typed [`DetectError`]. Non-finite window
+    /// energies (from isolated corrupt samples) are zeroed before
+    /// thresholding; a capture whose samples are *mostly* non-finite
+    /// is rejected.
+    ///
+    /// # Errors
+    ///
+    /// [`DetectError::Capture`] for an empty capture, one shorter
+    /// than a single STFT window, a non-positive/non-finite sample
+    /// rate, or a majority-non-finite capture.
+    pub fn try_detect(&self, capture: &Capture) -> Result<DetectionReport, DetectError> {
+        if !(capture.sample_rate > 0.0 && capture.sample_rate.is_finite()) {
+            return Err(DetectError::Capture(CaptureError::InvalidSampleRate));
+        }
+        if capture.samples.is_empty() {
+            return Err(DetectError::Capture(CaptureError::Empty));
+        }
+        if capture.samples.len() < self.config.window_samples {
+            return Err(DetectError::Capture(CaptureError::TooShort {
+                needed: self.config.window_samples,
+                got: capture.samples.len(),
+            }));
+        }
+        let non_finite =
+            capture.samples.iter().filter(|z| !(z.re.is_finite() && z.im.is_finite())).count();
+        if non_finite * 2 > capture.samples.len() {
+            return Err(DetectError::Capture(CaptureError::NonFinite {
+                count: non_finite,
+                total: capture.samples.len(),
+            }));
+        }
+        let mut window_energy = self.window_energies(capture);
+        // Isolated corrupt samples poison only their own window's
+        // energy; zero those windows so they read as idle.
+        for e in &mut window_energy {
+            if !e.is_finite() {
+                *e = 0.0;
+            }
+        }
         let window_s = self.config.window_samples as f64 / capture.sample_rate;
-        self.detect_from_energies(window_energy, window_s)
+        Ok(self.detect_from_energies(window_energy, window_s))
     }
 
     /// Thresholds and groups precomputed window energies (see
@@ -231,10 +340,15 @@ fn select_threshold(energies: &[f64]) -> f64 {
     if energies.is_empty() {
         return 0.0;
     }
-    let hist = Histogram::from_data(energies, 64.min(energies.len().max(2)));
+    // `try_from_data` only fails when every energy is non-finite;
+    // treat that as "no bimodality" and fall through to the quantile
+    // rule instead of panicking.
+    let modes = Histogram::try_from_data(energies, 64.min(energies.len().max(2)))
+        .ok()
+        .and_then(|h| h.two_modes());
     // Keystroke bursts are orders of magnitude above the idle floor;
     // two "modes" closer than 4× apart are just noise-histogram bumps.
-    if let Some((lo, hi)) = hist.two_modes().filter(|(lo, hi)| *hi > 4.0 * lo.max(1e-30)) {
+    if let Some((lo, hi)) = modes.filter(|(lo, hi)| *hi > 4.0 * lo.max(1e-30)) {
         (lo + hi) / 2.0
     } else {
         // Mostly-idle captures: the keystrokes are sparse outliers, so
@@ -388,5 +502,61 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn bad_window_panics() {
         Detector::new(DetectorConfig { window_samples: 12_000, ..DetectorConfig::new(970e3) });
+    }
+
+    #[test]
+    fn try_new_reports_config_errors() {
+        let bad = DetectorConfig { window_samples: 12_000, ..DetectorConfig::new(970e3) };
+        assert!(matches!(Detector::try_new(bad), Err(DetectError::InvalidConfig(_))));
+        let bad = DetectorConfig { harmonics: 0, ..DetectorConfig::new(970e3) };
+        assert!(matches!(Detector::try_new(bad), Err(DetectError::InvalidConfig(_))));
+        let bad = DetectorConfig { min_burst_s: f64::NAN, ..DetectorConfig::new(970e3) };
+        assert!(matches!(Detector::try_new(bad), Err(DetectError::InvalidConfig(_))));
+        assert!(Detector::try_new(DetectorConfig::new(970e3)).is_ok());
+    }
+
+    #[test]
+    fn try_detect_classifies_degenerate_captures() {
+        let d = detector();
+        let empty = Capture { samples: Vec::new(), sample_rate: 2.4e6, center_freq: 1.455e6 };
+        assert_eq!(d.try_detect(&empty), Err(DetectError::Capture(CaptureError::Empty)));
+        let short =
+            Capture { samples: vec![Complex::ZERO; 100], sample_rate: 2.4e6, center_freq: 1.455e6 };
+        assert!(matches!(
+            d.try_detect(&short),
+            Err(DetectError::Capture(CaptureError::TooShort { .. }))
+        ));
+        let bad_rate =
+            Capture { samples: vec![Complex::ZERO; 20_000], sample_rate: 0.0, center_freq: 0.0 };
+        assert_eq!(
+            d.try_detect(&bad_rate),
+            Err(DetectError::Capture(CaptureError::InvalidSampleRate))
+        );
+        let all_nan = Capture {
+            samples: vec![Complex::new(f64::NAN, f64::NAN); 20_000],
+            sample_rate: 2.4e6,
+            center_freq: 1.455e6,
+        };
+        assert!(matches!(
+            d.try_detect(&all_nan),
+            Err(DetectError::Capture(CaptureError::NonFinite { .. }))
+        ));
+        // The panic-free wrapper degrades each of those to no bursts.
+        for cap in [&empty, &short, &bad_rate, &all_nan] {
+            assert!(d.detect(cap).bursts.is_empty());
+        }
+    }
+
+    #[test]
+    fn try_detect_zeroes_isolated_corrupt_windows() {
+        let truth = [(0.2, 0.05)];
+        let mut cap = capture_with_bursts(&truth, 0.6);
+        // Poison a handful of samples far from the burst.
+        for i in 0..50 {
+            cap.samples[1_000_000 + i] = Complex::new(f64::NAN, 0.0);
+        }
+        let report = detector().try_detect(&cap).expect("minority NaN is recoverable");
+        assert!(report.window_energy.iter().all(|e| e.is_finite()));
+        assert_eq!(report.bursts.len(), 1, "bursts: {:?}", report.bursts);
     }
 }

@@ -29,7 +29,8 @@ pub mod words;
 
 pub use burst::BurstModel;
 pub use detect::{
-    score_detections, DetectedBurst, DetectionReport, DetectionScore, Detector, DetectorConfig,
+    score_detections, DetectError, DetectedBurst, DetectionReport, DetectionScore, Detector,
+    DetectorConfig,
 };
 pub use identify::{
     digraph_candidates, search_space_reduction, DigraphCandidates, SearchSpaceReduction,

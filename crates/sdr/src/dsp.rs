@@ -23,6 +23,17 @@ pub fn convolve_full(signal: &[f64], kernel: &[f64]) -> Vec<f64> {
 
 /// "Same"-size convolution: the centre `signal.len()` samples of the
 /// full convolution, so output index `i` aligns with input index `i`.
+///
+/// Alignment convention for **even-length** kernels (which have no
+/// centre tap): output index `i` is full-convolution index
+/// `i + (k − 1)/2` with flooring division, i.e. the kernel's notional
+/// centre sits half a sample *early* — the same convention as NumPy's
+/// `convolve(…, 'same')`. This is deliberate, not an off-by-one: for
+/// the always-even [`edge_kernel`] it places the response peak of a
+/// rising step *exactly at the step index* (a step at sample `s`
+/// peaks at full index `s + l/2 − 1`, and `start = l/2 − 1` maps that
+/// back to `s`), so bit-start estimates are not biased late. Centring
+/// on `k/2` instead would report every edge one sample early.
 pub fn convolve_same(signal: &[f64], kernel: &[f64]) -> Vec<f64> {
     if signal.is_empty() || kernel.is_empty() {
         return vec![0.0; signal.len()];
@@ -90,11 +101,32 @@ pub struct Peak {
 /// Finds local maxima of `signal` that are at least `min_height` tall,
 /// enforcing a minimum spacing of `min_distance` samples between
 /// retained peaks (taller peaks win).
+///
+/// A flat-topped maximum (a plateau, e.g. `[1, 5, 5, 5, 1]`) is
+/// reported once, at the **centre** of the plateau — reporting the
+/// first or last plateau sample would bias bit-start estimates early
+/// or late whenever quantisation flattens an edge-response peak.
 pub fn find_peaks(signal: &[f64], min_height: f64, min_distance: usize) -> Vec<Peak> {
     let mut candidates = Vec::new();
-    for i in 1..signal.len().saturating_sub(1) {
-        if signal[i] >= min_height && signal[i] >= signal[i - 1] && signal[i] > signal[i + 1] {
-            candidates.push(Peak { index: i, value: signal[i] });
+    let n = signal.len();
+    let mut i = 1;
+    while i < n.saturating_sub(1) {
+        // A candidate plateau starts where the signal stops falling:
+        // signal[i] >= signal[i-1], and runs while values stay equal.
+        if signal[i] >= min_height && signal[i] >= signal[i - 1] {
+            let mut j = i;
+            while j + 1 < n && signal[j + 1] == signal[i] {
+                j += 1;
+            }
+            // Interior maximum only: the plateau must be followed by a
+            // strict drop (a plateau running to the last sample is an
+            // edge, not a peak — same as before).
+            if j + 1 < n && signal[j + 1] < signal[i] {
+                candidates.push(Peak { index: i + (j - i) / 2, value: signal[i] });
+            }
+            i = j + 1;
+        } else {
+            i += 1;
         }
     }
     if min_distance <= 1 {
@@ -200,6 +232,44 @@ mod tests {
     #[should_panic(expected = "even")]
     fn odd_edge_kernel_panics() {
         edge_kernel(7);
+    }
+
+    #[test]
+    fn even_kernel_alignment_pins_step_response_at_step_index() {
+        // Pin the documented convention: for every even edge-kernel
+        // length, the 'same'-mode response to a clean step peaks at
+        // exactly the step index — no late (or early) bias.
+        for l in [2usize, 4, 8, 16, 32] {
+            let step_at = 40;
+            let mut x = vec![0.0; 100];
+            for v in x.iter_mut().skip(step_at) {
+                *v = 1.0;
+            }
+            let response = convolve_same(&x, &edge_kernel(l));
+            let argmax = response
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .map(|(i, _)| i)
+                .unwrap();
+            assert_eq!(argmax, step_at, "kernel length {l}");
+        }
+    }
+
+    #[test]
+    fn plateau_peak_reports_centre() {
+        // [0,1,5,5,5,1,0]: the plateau spans indices 2..=4 — the
+        // reported peak must be the centre sample, index 3.
+        let x = [0.0, 1.0, 5.0, 5.0, 5.0, 1.0, 0.0];
+        let peaks = find_peaks(&x, 0.5, 1);
+        assert_eq!(peaks.len(), 1);
+        assert_eq!(peaks[0].index, 3);
+        assert_eq!(peaks[0].value, 5.0);
+        // Even-length plateau: centre rounds down (index 2 of 2..=3).
+        let y = [0.0, 5.0, 5.0, 0.0];
+        let peaks = find_peaks(&y, 0.5, 1);
+        assert_eq!(peaks.len(), 1);
+        assert_eq!(peaks[0].index, 1);
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! automatic gain normalisation, ADC quantisation, and a small DC
 //! offset spur (a well-known RTL-SDR artefact).
 
+use crate::error::CaptureError;
 use crate::iq::Complex;
 
 /// RTL-SDR v3 maximum reliable sample rate, samples per second (§IV-C1).
@@ -117,6 +118,24 @@ impl Frontend {
         assert!(config.sample_rate > 0.0, "sample rate must be positive");
         assert!(config.adc_bits > 0, "ADC must have at least one bit");
         Frontend { config }
+    }
+
+    /// Fallible variant of [`Frontend::new`]: reports a bad sample
+    /// rate or zero-bit ADC as a typed error instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// [`CaptureError::InvalidSampleRate`] if the sample rate is not
+    /// positive and finite; [`CaptureError::InvalidConfig`] if
+    /// `adc_bits` is zero.
+    pub fn try_new(config: FrontendConfig) -> Result<Self, CaptureError> {
+        if !(config.sample_rate > 0.0 && config.sample_rate.is_finite()) {
+            return Err(CaptureError::InvalidSampleRate);
+        }
+        if config.adc_bits == 0 {
+            return Err(CaptureError::InvalidConfig("ADC must have at least one bit"));
+        }
+        Ok(Frontend { config })
     }
 
     /// The configuration this front end was built with.
@@ -335,5 +354,17 @@ mod tests {
     #[should_panic(expected = "sample rate")]
     fn zero_sample_rate_panics() {
         Frontend::new(FrontendConfig { sample_rate: 0.0, ..FrontendConfig::ideal(1.0, 0.0) });
+    }
+
+    #[test]
+    fn try_new_reports_bad_configs_instead_of_panicking() {
+        use crate::error::CaptureError;
+        let bad_rate = FrontendConfig { sample_rate: 0.0, ..FrontendConfig::ideal(1.0, 0.0) };
+        assert_eq!(Frontend::try_new(bad_rate).unwrap_err(), CaptureError::InvalidSampleRate);
+        let nan_rate = FrontendConfig { sample_rate: f64::NAN, ..FrontendConfig::ideal(1.0, 0.0) };
+        assert_eq!(Frontend::try_new(nan_rate).unwrap_err(), CaptureError::InvalidSampleRate);
+        let no_bits = FrontendConfig { adc_bits: 0, ..FrontendConfig::ideal(1.0, 0.0) };
+        assert!(matches!(Frontend::try_new(no_bits), Err(CaptureError::InvalidConfig(_))));
+        assert!(Frontend::try_new(FrontendConfig::rtl_sdr_v3(1.4e6)).is_ok());
     }
 }

@@ -1,0 +1,318 @@
+//! Channel-impairment fault injection.
+//!
+//! The paper's receiver runs against a $25 RTL-SDR over an air gap; the
+//! channel it sees is never the clean simulator output. This module
+//! injects the impairments that dominate in practice — sample-clock
+//! ppm drift, AGC gain steps, dropped-sample gaps (USB overruns),
+//! impulsive interference bursts, and hard clipping — directly into a
+//! [`Capture`], so BER-vs-severity sweeps can measure how gracefully
+//! the demodulator degrades.
+//!
+//! Every impairment is **deterministic**: the only randomness comes
+//! from the `seed` passed to [`Impairment::apply`], so the same
+//! capture, impairment list and seed always produce the same corrupted
+//! capture — bit-identical across thread counts under the positional
+//! seeding of `emsc_runtime::seed_for`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::frontend::Capture;
+use crate::iq::Complex;
+
+/// Probability that any one sample inside an impulse burst carries an
+/// impulse (the rest of the burst window is untouched).
+const IMPULSE_DENSITY: f64 = 0.02;
+
+/// One channel impairment, applied in place to a [`Capture`].
+///
+/// All variants are total: applied to an empty or degenerate capture
+/// they do nothing rather than panic, and out-of-range times/counts
+/// are clamped to the capture.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Impairment {
+    /// Sample-clock frequency error of `ppm` parts-per-million: the
+    /// receiver's crystal runs fast (`ppm > 0`) or slow (`ppm < 0`),
+    /// so the capture is resampled by `1 + ppm/1e6` with linear
+    /// interpolation. Positive ppm shortens the capture slightly and,
+    /// over many bits, desynchronises bit-start estimates.
+    ClockDrift {
+        /// Clock error in parts-per-million.
+        ppm: f64,
+    },
+    /// An abrupt AGC gain step: every sample from `at_s` onward is
+    /// scaled by `gain` (a nearby appliance switching on, the dongle
+    /// re-ranging mid-capture).
+    AgcStep {
+        /// Time of the step, seconds from capture start.
+        at_s: f64,
+        /// Linear gain applied to everything after the step.
+        gain: f64,
+    },
+    /// `count` consecutive samples removed starting at `at_s` — a USB
+    /// transfer overrun. Everything after the gap shifts earlier, so
+    /// downstream bit timing is desynchronised by `count` samples.
+    DroppedSamples {
+        /// Time of the gap, seconds from capture start.
+        at_s: f64,
+        /// Number of samples dropped.
+        count: usize,
+    },
+    /// Impulsive interference: inside `[at_s, at_s + duration_s)` a
+    /// seeded ~2% of samples get a random-phase impulse of magnitude
+    /// `amplitude` added (motor brushes, switching transients).
+    ImpulseBurst {
+        /// Burst start, seconds from capture start.
+        at_s: f64,
+        /// Burst length in seconds.
+        duration_s: f64,
+        /// Impulse magnitude, in full-scale units.
+        amplitude: f64,
+    },
+    /// Hard clipping: both I and Q limited to `±level` (front-end
+    /// saturation from a too-hot signal).
+    Clipping {
+        /// Clip level in full-scale units (must be positive to have
+        /// any effect; non-positive levels are ignored).
+        level: f64,
+    },
+}
+
+impl Impairment {
+    /// Applies this impairment to `capture` in place. Deterministic:
+    /// the same capture, impairment and `seed` always produce the same
+    /// result. Degenerate captures (empty, zero sample rate) and
+    /// out-of-range parameters are clamped, never a panic.
+    pub fn apply(&self, capture: &mut Capture, seed: u64) {
+        match *self {
+            Impairment::ClockDrift { ppm } => clock_drift(capture, ppm),
+            Impairment::AgcStep { at_s, gain } => {
+                let at = time_to_index(capture, at_s);
+                for s in &mut capture.samples[at..] {
+                    *s = s.scale(gain);
+                }
+            }
+            Impairment::DroppedSamples { at_s, count } => {
+                let at = time_to_index(capture, at_s);
+                let end = at.saturating_add(count).min(capture.samples.len());
+                capture.samples.drain(at..end);
+            }
+            Impairment::ImpulseBurst { at_s, duration_s, amplitude } => {
+                let at = time_to_index(capture, at_s);
+                let len = (duration_s.max(0.0) * capture.sample_rate) as usize;
+                let end = at.saturating_add(len).min(capture.samples.len());
+                let mut rng = StdRng::seed_from_u64(seed);
+                for s in &mut capture.samples[at..end] {
+                    if rng.gen_bool(IMPULSE_DENSITY) {
+                        let phase = rng.gen::<f64>() * 2.0 * std::f64::consts::PI;
+                        *s += Complex::from_polar(amplitude, phase);
+                    }
+                }
+            }
+            Impairment::Clipping { level } => {
+                if level > 0.0 {
+                    for s in &mut capture.samples {
+                        *s = Complex::new(s.re.clamp(-level, level), s.im.clamp(-level, level));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Applies a list of impairments in order. Each gets a distinct
+/// sub-seed derived positionally from `seed`, so reordering the list
+/// changes the corruption but re-running never does.
+pub fn apply_all(capture: &mut Capture, impairments: &[Impairment], seed: u64) {
+    for (i, imp) in impairments.iter().enumerate() {
+        imp.apply(capture, seed.wrapping_add((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+    }
+}
+
+/// Converts a time offset into a clamped sample index (0 for NaN or
+/// negative times, `len` past the end).
+fn time_to_index(capture: &Capture, at_s: f64) -> usize {
+    let idx = at_s * capture.sample_rate;
+    if idx.is_finite() && idx > 0.0 {
+        (idx as usize).min(capture.samples.len())
+    } else {
+        0
+    }
+}
+
+/// Resamples the capture by `1 + ppm/1e6` with linear interpolation:
+/// output sample `k` reads input position `k · (1 + ppm/1e6)`.
+fn clock_drift(capture: &mut Capture, ppm: f64) {
+    let rate = 1.0 + ppm / 1e6;
+    if !rate.is_finite() || rate <= 0.0 || ppm == 0.0 || capture.samples.len() < 2 {
+        return;
+    }
+    let src = &capture.samples;
+    let n = src.len();
+    let out_len = (((n - 1) as f64 / rate).floor() as usize).saturating_add(1).min(2 * n);
+    let mut out = Vec::with_capacity(out_len);
+    for k in 0..out_len {
+        let pos = k as f64 * rate;
+        let i = pos as usize;
+        if i + 1 >= n {
+            out.push(src[n - 1]);
+        } else {
+            let frac = pos - i as f64;
+            out.push(src[i].scale(1.0 - frac) + src[i + 1].scale(frac));
+        }
+    }
+    capture.samples = out;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_capture(n: usize) -> Capture {
+        let samples = (0..n)
+            .map(|i| Complex::new((0.01 * i as f64).sin(), (0.013 * i as f64).cos()))
+            .collect();
+        Capture { samples, sample_rate: 1000.0, center_freq: 0.0 }
+    }
+
+    #[test]
+    fn zero_ppm_drift_is_identity() {
+        let mut cap = test_capture(500);
+        let orig = cap.samples.clone();
+        Impairment::ClockDrift { ppm: 0.0 }.apply(&mut cap, 1);
+        assert_eq!(cap.samples, orig);
+    }
+
+    #[test]
+    fn positive_ppm_shortens_negative_lengthens() {
+        let mut fast = test_capture(100_000);
+        Impairment::ClockDrift { ppm: 100.0 }.apply(&mut fast, 1);
+        assert!(fast.samples.len() < 100_000, "fast clock must shorten: {}", fast.samples.len());
+        let mut slow = test_capture(100_000);
+        Impairment::ClockDrift { ppm: -100.0 }.apply(&mut slow, 1);
+        assert!(slow.samples.len() > 100_000, "slow clock must lengthen: {}", slow.samples.len());
+        // ~100 ppm over 100k samples ≈ 10 samples either way.
+        assert!(fast.samples.len().abs_diff(100_000) < 20);
+        assert!(slow.samples.len().abs_diff(100_000) < 20);
+    }
+
+    #[test]
+    fn drift_interpolates_smoothly() {
+        // A linear ramp resampled by any rate stays a linear ramp.
+        let samples: Vec<Complex> = (0..1000).map(|i| Complex::new(i as f64, 0.0)).collect();
+        let mut cap = Capture { samples, sample_rate: 1000.0, center_freq: 0.0 };
+        Impairment::ClockDrift { ppm: 500.0 }.apply(&mut cap, 1);
+        for (k, s) in cap.samples.iter().enumerate() {
+            let expect = k as f64 * (1.0 + 500.0 / 1e6);
+            assert!((s.re - expect.min(999.0)).abs() < 1e-9, "sample {k}");
+        }
+    }
+
+    #[test]
+    fn agc_step_scales_only_the_tail() {
+        let mut cap = test_capture(1000);
+        let orig = cap.samples.clone();
+        // 0.5 s at 1 kHz = sample 500.
+        Impairment::AgcStep { at_s: 0.5, gain: 2.0 }.apply(&mut cap, 1);
+        for (got, want) in cap.samples.iter().zip(&orig).take(500) {
+            assert_eq!(got, want);
+        }
+        for (got, want) in cap.samples.iter().zip(&orig).skip(500) {
+            assert!((got.re - 2.0 * want.re).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn dropped_samples_splice_the_stream() {
+        let mut cap = test_capture(1000);
+        let orig = cap.samples.clone();
+        Impairment::DroppedSamples { at_s: 0.1, count: 30 }.apply(&mut cap, 1);
+        assert_eq!(cap.samples.len(), 970);
+        assert_eq!(cap.samples[99], orig[99]);
+        assert_eq!(cap.samples[100], orig[130]);
+    }
+
+    #[test]
+    fn impulse_burst_is_seed_deterministic_and_localised() {
+        let mut a = test_capture(2000);
+        let mut b = test_capture(2000);
+        let orig = a.samples.clone();
+        let imp = Impairment::ImpulseBurst { at_s: 0.5, duration_s: 0.5, amplitude: 3.0 };
+        imp.apply(&mut a, 42);
+        imp.apply(&mut b, 42);
+        assert_eq!(a.samples, b.samples, "same seed must reproduce the same burst");
+        let mut c = test_capture(2000);
+        imp.apply(&mut c, 43);
+        assert_ne!(a.samples, c.samples, "different seed must move the impulses");
+        // Untouched outside [0.5 s, 1.0 s) = samples [500, 1000).
+        assert_eq!(&a.samples[..500], &orig[..500]);
+        assert_eq!(&a.samples[1000..], &orig[1000..]);
+        let hit = a.samples[500..1000].iter().zip(&orig[500..1000]).filter(|(x, o)| x != o).count();
+        assert!(hit > 0, "burst injected nothing");
+        assert!(hit < 100, "burst density too high: {hit}");
+    }
+
+    #[test]
+    fn clipping_bounds_both_components() {
+        let mut cap = test_capture(1000);
+        for s in &mut cap.samples {
+            *s = s.scale(5.0);
+        }
+        Impairment::Clipping { level: 0.8 }.apply(&mut cap, 1);
+        assert!(cap.samples.iter().all(|s| s.re.abs() <= 0.8 && s.im.abs() <= 0.8));
+        // Non-positive level is a no-op, not a capture wipe.
+        let orig = cap.samples.clone();
+        Impairment::Clipping { level: -1.0 }.apply(&mut cap, 1);
+        assert_eq!(cap.samples, orig);
+    }
+
+    #[test]
+    fn every_impairment_is_total_on_degenerate_captures() {
+        let all = [
+            Impairment::ClockDrift { ppm: 250.0 },
+            Impairment::AgcStep { at_s: f64::NAN, gain: 0.5 },
+            Impairment::DroppedSamples { at_s: 1e9, count: usize::MAX },
+            Impairment::ImpulseBurst { at_s: -1.0, duration_s: f64::INFINITY, amplitude: 1.0 },
+            Impairment::Clipping { level: f64::NAN },
+        ];
+        let mut empty = Capture { samples: Vec::new(), sample_rate: 0.0, center_freq: 0.0 };
+        apply_all(&mut empty, &all, 7);
+        assert!(empty.samples.is_empty());
+        let mut tiny = test_capture(3);
+        apply_all(&mut tiny, &all, 7);
+        assert!(tiny.samples.len() <= 3);
+    }
+
+    #[test]
+    fn apply_all_gives_each_impairment_its_own_substream() {
+        let imps = [
+            Impairment::ImpulseBurst { at_s: 0.0, duration_s: 0.5, amplitude: 1.0 },
+            Impairment::ImpulseBurst { at_s: 0.5, duration_s: 0.5, amplitude: 1.0 },
+        ];
+        let mut a = test_capture(1000);
+        apply_all(&mut a, &imps, 9);
+        let mut b = test_capture(1000);
+        apply_all(&mut b, &imps, 9);
+        assert_eq!(a.samples, b.samples);
+        // The two bursts must not be the same draw sequence: mirror the
+        // capture halves and check the corruption is not mirrored.
+        let first: Vec<Complex> = a.samples[..500].to_vec();
+        let second: Vec<Complex> = a.samples[500..].to_vec();
+        let orig = test_capture(1000);
+        let d1: Vec<usize> = first
+            .iter()
+            .zip(&orig.samples[..500])
+            .enumerate()
+            .filter(|(_, (x, o))| x != o)
+            .map(|(i, _)| i)
+            .collect();
+        let d2: Vec<usize> = second
+            .iter()
+            .zip(&orig.samples[500..])
+            .enumerate()
+            .filter(|(_, (x, o))| x != o)
+            .map(|(i, _)| i)
+            .collect();
+        assert_ne!(d1, d2, "positional sub-seeding failed: identical impulse patterns");
+    }
+}

@@ -50,10 +50,12 @@
 #![warn(missing_docs, missing_debug_implementations)]
 
 pub mod dsp;
+pub mod error;
 pub mod fft;
 pub mod fir;
 pub mod frontend;
 pub mod goertzel;
+pub mod impair;
 pub mod iq;
 pub mod mix;
 pub mod record;
@@ -63,5 +65,6 @@ pub mod stats;
 pub mod stft;
 pub mod window;
 
+pub use error::{CaptureError, StatsError};
 pub use frontend::{Capture, Frontend, FrontendConfig};
 pub use iq::Complex;

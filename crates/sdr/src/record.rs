@@ -29,23 +29,53 @@ pub fn write_rtl_u8<W: Write>(capture: &Capture, mut writer: W) -> io::Result<()
     writer.write_all(&buf)
 }
 
+/// Chunk size for streaming reads: big enough to amortise syscalls,
+/// small enough that a multi-gigabyte capture never doubles its
+/// memory footprint in an intermediate byte buffer.
+const READ_CHUNK: usize = 64 * 1024;
+
 /// Reads an interleaved unsigned 8-bit I/Q stream (the `rtl_sdr` wire
 /// format) into a [`Capture`]. The caller supplies the sample rate and
 /// tuner frequency, which the raw format does not carry. A trailing
 /// odd byte is ignored.
 ///
+/// The stream is consumed in bounded chunks — never slurped whole — so
+/// only the decoded `Vec<Complex>` itself grows with capture length,
+/// and an I/O error mid-capture (a vanished USB device, a truncated
+/// network read) surfaces as soon as the failing chunk is hit.
+///
 /// # Errors
 ///
-/// Propagates any I/O error from the reader.
+/// Propagates any I/O error from the reader, including errors that
+/// occur after some samples were already decoded.
 pub fn read_rtl_u8<R: Read>(
     mut reader: R,
     sample_rate: f64,
     center_freq: f64,
 ) -> io::Result<Capture> {
-    let mut bytes = Vec::new();
-    reader.read_to_end(&mut bytes)?;
-    let samples =
-        bytes.chunks_exact(2).map(|p| Complex::new(from_u8(p[0]), from_u8(p[1]))).collect();
+    let mut samples = Vec::new();
+    let mut buf = [0u8; READ_CHUNK];
+    // A pair can straddle a chunk boundary: carry the odd byte over.
+    let mut pending: Option<u8> = None;
+    loop {
+        let n = match reader.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        };
+        let mut chunk = &buf[..n];
+        if let Some(i) = pending.take() {
+            samples.push(Complex::new(from_u8(i), from_u8(chunk[0])));
+            chunk = &chunk[1..];
+        }
+        for p in chunk.chunks_exact(2) {
+            samples.push(Complex::new(from_u8(p[0]), from_u8(p[1])));
+        }
+        if chunk.len() % 2 == 1 {
+            pending = Some(chunk[chunk.len() - 1]);
+        }
+    }
     Ok(Capture { samples, sample_rate, center_freq })
 }
 
@@ -110,5 +140,57 @@ mod tests {
         let cap = read_rtl_u8(&[][..], 2.4e6, 1e6).unwrap();
         assert!(cap.samples.is_empty());
         assert_eq!(cap.sample_rate, 2.4e6);
+    }
+
+    /// Reader that doles out one byte per `read` call, so every I/Q
+    /// pair straddles a "chunk" boundary.
+    struct OneByteReader<'a>(&'a [u8]);
+
+    impl Read for OneByteReader<'_> {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            match self.0.split_first() {
+                Some((&b, rest)) => {
+                    buf[0] = b;
+                    self.0 = rest;
+                    Ok(1)
+                }
+                None => Ok(0),
+            }
+        }
+    }
+
+    #[test]
+    fn pairs_straddling_chunk_boundaries_decode_correctly() {
+        let cap = sample_capture();
+        let mut bytes = Vec::new();
+        write_rtl_u8(&cap, &mut bytes).unwrap();
+        let whole = read_rtl_u8(&bytes[..], cap.sample_rate, cap.center_freq).unwrap();
+        let dribbled =
+            read_rtl_u8(OneByteReader(&bytes), cap.sample_rate, cap.center_freq).unwrap();
+        assert_eq!(dribbled.samples, whole.samples);
+    }
+
+    /// Reader that yields some valid bytes, then fails — a USB dongle
+    /// unplugged mid-capture.
+    struct FailAfter {
+        remaining: usize,
+    }
+
+    impl Read for FailAfter {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if self.remaining == 0 {
+                return Err(io::Error::new(io::ErrorKind::BrokenPipe, "device vanished"));
+            }
+            let n = self.remaining.min(buf.len());
+            buf[..n].fill(128);
+            self.remaining -= n;
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn mid_capture_io_error_surfaces() {
+        let err = read_rtl_u8(FailAfter { remaining: 10 }, 2.4e6, 1e6).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::BrokenPipe);
     }
 }

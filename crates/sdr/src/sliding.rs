@@ -15,6 +15,7 @@
 //! bounded. The result is numerically equal (to ~1e-9) to evaluating a
 //! rectangular-windowed DFT at every sample, at `O(|S|)` per sample.
 
+use crate::error::CaptureError;
 use crate::fft::frequency_bin;
 use crate::iq::Complex;
 
@@ -51,6 +52,28 @@ impl SlidingDft {
         assert!(window > 0, "window must be positive");
         assert!(!bins.is_empty(), "at least one bin must be tracked");
         assert!(bins.iter().all(|&k| k < window), "bin index out of range");
+        Self::build(window, bins)
+    }
+
+    /// Fallible variant of [`SlidingDft::new`]: reports the violated
+    /// precondition as a [`CaptureError::InvalidConfig`] instead of
+    /// panicking. An empty `bins` slice is what the receiver sees when
+    /// no tracked harmonic falls inside the captured band, so callers
+    /// can map that case to a "no carrier" decode failure.
+    pub fn try_new(window: usize, bins: &[usize]) -> Result<Self, CaptureError> {
+        if window == 0 {
+            return Err(CaptureError::InvalidConfig("window must be positive"));
+        }
+        if bins.is_empty() {
+            return Err(CaptureError::InvalidConfig("at least one bin must be tracked"));
+        }
+        if bins.iter().any(|&k| k >= window) {
+            return Err(CaptureError::InvalidConfig("bin index out of range"));
+        }
+        Ok(Self::build(window, bins))
+    }
+
+    fn build(window: usize, bins: &[usize]) -> Self {
         let rotators = bins
             .iter()
             .map(|&k| Complex::cis(2.0 * std::f64::consts::PI * k as f64 / window as f64))
@@ -202,6 +225,75 @@ pub fn energy_signal(
     out
 }
 
+/// Result of [`try_energy_signal`]: the energy samples plus how many
+/// non-finite input samples had to be zeroed before analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnergySignal {
+    /// The decimated Eq. (1) energy signal.
+    pub samples: Vec<f64>,
+    /// Number of NaN/infinite input samples replaced with zero.
+    pub sanitized: usize,
+}
+
+/// Fallible variant of [`energy_signal`] for captures of unknown
+/// provenance. Reports degenerate input as a typed [`CaptureError`]
+/// instead of panicking or silently propagating NaN:
+///
+/// - an empty capture is [`CaptureError::Empty`],
+/// - a capture shorter than one analysis window is
+///   [`CaptureError::TooShort`],
+/// - a capture where **more than half** the samples are NaN/infinite
+///   is [`CaptureError::NonFinite`] (nothing useful survives),
+/// - a minority of non-finite samples is *sanitized*: each is replaced
+///   with zero (a dropout, exactly what a dongle glitch produces) and
+///   counted in [`EnergySignal::sanitized`].
+///
+/// A fully-finite capture takes the same code path as
+/// [`energy_signal`], so the hot loop costs nothing extra.
+///
+/// # Errors
+///
+/// See above; configuration violations (zero window/decimation, empty
+/// or out-of-range bins) are [`CaptureError::InvalidConfig`].
+pub fn try_energy_signal(
+    samples: &[Complex],
+    window: usize,
+    bins: &[usize],
+    decimation: usize,
+) -> Result<EnergySignal, CaptureError> {
+    if decimation == 0 {
+        return Err(CaptureError::InvalidConfig("decimation must be positive"));
+    }
+    // Validate window/bins before looking at the data so config errors
+    // win over capture errors (they are the caller's bug, not the
+    // channel's).
+    SlidingDft::try_new(window, bins)?;
+    if samples.is_empty() {
+        return Err(CaptureError::Empty);
+    }
+    if samples.len() < window {
+        return Err(CaptureError::TooShort { needed: window, got: samples.len() });
+    }
+    let non_finite = samples.iter().filter(|x| !(x.re.is_finite() && x.im.is_finite())).count();
+    if non_finite * 2 > samples.len() {
+        return Err(CaptureError::NonFinite { count: non_finite, total: samples.len() });
+    }
+    if non_finite == 0 {
+        return Ok(EnergySignal {
+            samples: energy_signal(samples, window, bins, decimation),
+            sanitized: 0,
+        });
+    }
+    let cleaned: Vec<Complex> = samples
+        .iter()
+        .map(|&x| if x.re.is_finite() && x.im.is_finite() { x } else { Complex::ZERO })
+        .collect();
+    Ok(EnergySignal {
+        samples: energy_signal(&cleaned, window, bins, decimation),
+        sanitized: non_finite,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -325,5 +417,58 @@ mod tests {
     #[should_panic(expected = "bin index")]
     fn bin_out_of_range_panics() {
         SlidingDft::new(64, &[64]);
+    }
+
+    #[test]
+    fn try_new_reports_config_errors() {
+        use crate::error::CaptureError;
+        assert!(matches!(SlidingDft::try_new(0, &[1]), Err(CaptureError::InvalidConfig(_))));
+        assert!(matches!(SlidingDft::try_new(64, &[]), Err(CaptureError::InvalidConfig(_))));
+        assert!(matches!(SlidingDft::try_new(64, &[64]), Err(CaptureError::InvalidConfig(_))));
+        assert!(SlidingDft::try_new(64, &[63]).is_ok());
+    }
+
+    #[test]
+    fn try_energy_signal_matches_panicking_path_on_clean_input() {
+        let samples = chirpy_signal(2048);
+        let want = energy_signal(&samples, 128, &[7], 4);
+        let got = try_energy_signal(&samples, 128, &[7], 4).unwrap();
+        assert_eq!(got.samples, want);
+        assert_eq!(got.sanitized, 0);
+    }
+
+    #[test]
+    fn try_energy_signal_classifies_degenerate_captures() {
+        use crate::error::CaptureError;
+        let samples = chirpy_signal(64);
+        assert_eq!(try_energy_signal(&[], 128, &[7], 1), Err(CaptureError::Empty));
+        assert_eq!(
+            try_energy_signal(&samples, 128, &[7], 1),
+            Err(CaptureError::TooShort { needed: 128, got: 64 })
+        );
+        assert!(matches!(
+            try_energy_signal(&samples, 32, &[7], 0),
+            Err(CaptureError::InvalidConfig(_))
+        ));
+        let all_nan = vec![Complex::new(f64::NAN, f64::NAN); 256];
+        assert_eq!(
+            try_energy_signal(&all_nan, 64, &[7], 1),
+            Err(CaptureError::NonFinite { count: 256, total: 256 })
+        );
+    }
+
+    #[test]
+    fn try_energy_signal_sanitizes_a_minority_of_nans() {
+        let mut samples = chirpy_signal(2048);
+        samples[100] = Complex::new(f64::NAN, 0.0);
+        samples[700] = Complex::new(f64::INFINITY, f64::NEG_INFINITY);
+        let got = try_energy_signal(&samples, 128, &[7], 4).unwrap();
+        assert_eq!(got.sanitized, 2);
+        assert!(got.samples.iter().all(|v| v.is_finite()), "NaN leaked through");
+        // Away from the zeroed samples the signal matches the clean path.
+        let mut cleaned = samples.clone();
+        cleaned[100] = Complex::ZERO;
+        cleaned[700] = Complex::ZERO;
+        assert_eq!(got.samples, energy_signal(&cleaned, 128, &[7], 4));
     }
 }

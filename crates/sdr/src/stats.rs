@@ -7,6 +7,8 @@
 //! symbol period; Fig. 7 finds the two modes of the per-bit power
 //! histogram and places the decision threshold halfway between them.
 
+use crate::error::StatsError;
+
 /// A fixed-width histogram over `[min, max]`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Histogram {
@@ -14,42 +16,77 @@ pub struct Histogram {
     min: f64,
     max: f64,
     total: usize,
+    skipped: usize,
 }
 
 impl Histogram {
     /// Builds a histogram of `data` with `bins` equal-width bins
     /// spanning the data's own min/max (a degenerate span is widened
-    /// slightly so every sample lands in-range).
+    /// slightly so every sample lands in-range). Non-finite values are
+    /// skipped and counted in [`Histogram::skipped`] rather than
+    /// binned, so one corrupt per-bit power cannot skew the span or
+    /// pile spurious mass into bin 0.
     ///
     /// # Panics
     ///
-    /// Panics if `bins` is zero or `data` is empty.
+    /// Panics if `bins` is zero or `data` holds no finite value; use
+    /// [`Histogram::try_from_data`] for the fallible variant.
     pub fn from_data(data: &[f64], bins: usize) -> Self {
-        assert!(bins > 0, "bins must be positive");
-        assert!(!data.is_empty(), "cannot build a histogram of no data");
+        match Histogram::try_from_data(data, bins) {
+            Ok(h) => h,
+            Err(StatsError::ZeroBins) => panic!("bins must be positive"),
+            Err(_) => panic!("cannot build a histogram of no data"),
+        }
+    }
+
+    /// Fallible [`Histogram::from_data`]: reports zero bins and
+    /// empty/all-non-finite data as typed errors instead of panicking.
+    pub fn try_from_data(data: &[f64], bins: usize) -> Result<Self, StatsError> {
+        if bins == 0 {
+            return Err(StatsError::ZeroBins);
+        }
+        if data.is_empty() {
+            return Err(StatsError::EmptyData);
+        }
         let mut min = f64::INFINITY;
         let mut max = f64::NEG_INFINITY;
         for &v in data {
-            min = min.min(v);
-            max = max.max(v);
+            if v.is_finite() {
+                min = min.min(v);
+                max = max.max(v);
+            }
+        }
+        if !min.is_finite() || !max.is_finite() {
+            return Err(StatsError::NoFiniteData);
         }
         if max - min < 1e-300 {
             max = min + 1.0;
         }
-        let mut h = Histogram { counts: vec![0; bins], min, max, total: 0 };
+        let mut h = Histogram { counts: vec![0; bins], min, max, total: 0, skipped: 0 };
         for &v in data {
             h.add(v);
         }
-        h
+        Ok(h)
     }
 
-    /// Adds a sample (values outside `[min, max]` clamp to the edge bins).
+    /// Adds a sample (finite values outside `[min, max]` clamp to the
+    /// edge bins; NaN and infinite values are skipped and counted in
+    /// [`Histogram::skipped`]).
     pub fn add(&mut self, value: f64) {
+        if !value.is_finite() {
+            self.skipped += 1;
+            return;
+        }
         let bins = self.counts.len();
         let frac = (value - self.min) / (self.max - self.min);
         let idx = ((frac * bins as f64) as isize).clamp(0, bins as isize - 1) as usize;
         self.counts[idx] += 1;
         self.total += 1;
+    }
+
+    /// Number of non-finite samples rejected by [`Histogram::add`].
+    pub fn skipped(&self) -> usize {
+        self.skipped
     }
 
     /// Number of bins.
@@ -123,21 +160,36 @@ impl Histogram {
 ///
 /// # Panics
 ///
-/// Panics if `data` is empty or `q` is outside `[0, 1]`.
+/// Panics if `data` is empty or `q` is outside `[0, 1]`; use
+/// [`try_quantile`] for the fallible variant.
 pub fn quantile(data: &[f64], q: f64) -> f64 {
-    assert!(!data.is_empty(), "quantile of no data");
-    assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+    match try_quantile(data, q) {
+        Ok(v) => v,
+        Err(StatsError::InvalidQuantile) => panic!("quantile must be in [0, 1]"),
+        Err(_) => panic!("quantile of no data"),
+    }
+}
+
+/// Fallible [`quantile`]: reports empty data and out-of-range `q` as
+/// typed errors instead of panicking.
+pub fn try_quantile(data: &[f64], q: f64) -> Result<f64, StatsError> {
+    if !(0.0..=1.0).contains(&q) {
+        return Err(StatsError::InvalidQuantile);
+    }
+    if data.is_empty() {
+        return Err(StatsError::EmptyData);
+    }
     let mut sorted = data.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
     let pos = q * (sorted.len() - 1) as f64;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;
-    if lo == hi {
+    Ok(if lo == hi {
         sorted[lo]
     } else {
         let frac = pos - lo as f64;
         sorted[lo] * (1.0 - frac) + sorted[hi] * frac
-    }
+    })
 }
 
 /// Median: the 0.5-quantile. The paper picks the signalling time as
@@ -146,19 +198,40 @@ pub fn quantile(data: &[f64], q: f64) -> f64 {
 ///
 /// # Panics
 ///
-/// Panics if `data` is empty.
+/// Panics if `data` is empty; use [`try_median`] for the fallible
+/// variant.
 pub fn median(data: &[f64]) -> f64 {
     quantile(data, 0.5)
+}
+
+/// Fallible [`median`].
+pub fn try_median(data: &[f64]) -> Result<f64, StatsError> {
+    try_quantile(data, 0.5)
 }
 
 /// Sample mean.
 ///
 /// # Panics
 ///
-/// Panics if `data` is empty.
+/// Panics if `data` is empty; use [`try_mean`] for the fallible
+/// variant.
 pub fn mean(data: &[f64]) -> f64 {
-    assert!(!data.is_empty(), "mean of no data");
-    data.iter().sum::<f64>() / data.len() as f64
+    try_mean(data).expect("mean of no data")
+}
+
+/// Fallible [`mean`]: non-finite values are excluded from the
+/// average, and data with no finite value at all is a typed error
+/// rather than a silent `NaN`.
+pub fn try_mean(data: &[f64]) -> Result<f64, StatsError> {
+    if data.is_empty() {
+        return Err(StatsError::EmptyData);
+    }
+    let (sum, n) =
+        data.iter().filter(|v| v.is_finite()).fold((0.0f64, 0usize), |(s, n), &v| (s + v, n + 1));
+    if n == 0 {
+        return Err(StatsError::NoFiniteData);
+    }
+    Ok(sum / n as f64)
 }
 
 /// Unbiased sample variance (returns 0 for fewer than two samples).
@@ -205,13 +278,28 @@ impl RayleighFit {
     ///
     /// # Panics
     ///
-    /// Panics if `data` is empty.
+    /// Panics if `data` is empty; use [`RayleighFit::try_fit`] for the
+    /// fallible variant.
     pub fn fit(data: &[f64]) -> Self {
-        assert!(!data.is_empty(), "cannot fit to no data");
-        let min = data.iter().cloned().fold(f64::INFINITY, f64::min);
+        RayleighFit::try_fit(data).expect("cannot fit to no data")
+    }
+
+    /// Fallible [`RayleighFit::fit`]: reports empty or all-non-finite
+    /// data as a typed error instead of panicking (non-finite values
+    /// are excluded from the fit).
+    pub fn try_fit(data: &[f64]) -> Result<Self, StatsError> {
+        if data.is_empty() {
+            return Err(StatsError::EmptyData);
+        }
+        let finite: Vec<f64> = data.iter().copied().filter(|v| v.is_finite()).collect();
+        if finite.is_empty() {
+            return Err(StatsError::NoFiniteData);
+        }
+        let min = finite.iter().cloned().fold(f64::INFINITY, f64::min);
         let location = min - 1e-9 * min.abs().max(1.0);
-        let ms: f64 = data.iter().map(|&x| (x - location).powi(2)).sum::<f64>() / data.len() as f64;
-        RayleighFit { location, sigma: (ms / 2.0).sqrt() }
+        let ms: f64 =
+            finite.iter().map(|&x| (x - location).powi(2)).sum::<f64>() / finite.len() as f64;
+        Ok(RayleighFit { location, sigma: (ms / 2.0).sqrt() })
     }
 
     /// Probability density at `x`.
@@ -362,5 +450,46 @@ mod tests {
     #[should_panic(expected = "no data")]
     fn median_of_empty_panics() {
         median(&[]);
+    }
+
+    #[test]
+    fn histogram_skips_nan_instead_of_binning_it() {
+        // One NaN among clean data must not land in bin 0 and must not
+        // widen the span.
+        let data = [1.0, 2.0, 3.0, f64::NAN, 4.0, f64::INFINITY];
+        let h = Histogram::from_data(&data, 4);
+        assert_eq!(h.total(), 4);
+        assert_eq!(h.skipped(), 2);
+        assert_eq!(h.counts().iter().sum::<usize>(), 4);
+        // Span comes from the finite values only.
+        assert_eq!(h.bin_center(0), 1.0 + 0.5 * 3.0 / 4.0);
+    }
+
+    #[test]
+    fn histogram_all_nan_is_a_typed_error() {
+        assert_eq!(
+            Histogram::try_from_data(&[f64::NAN, f64::NAN], 4),
+            Err(crate::error::StatsError::NoFiniteData)
+        );
+        assert_eq!(Histogram::try_from_data(&[], 4), Err(crate::error::StatsError::EmptyData));
+        assert_eq!(Histogram::try_from_data(&[1.0], 0), Err(crate::error::StatsError::ZeroBins));
+    }
+
+    #[test]
+    fn try_variants_report_errors_instead_of_panicking() {
+        use crate::error::StatsError;
+        assert_eq!(try_median(&[]), Err(StatsError::EmptyData));
+        assert_eq!(try_mean(&[]), Err(StatsError::EmptyData));
+        assert_eq!(try_quantile(&[1.0], 1.5), Err(StatsError::InvalidQuantile));
+        assert_eq!(RayleighFit::try_fit(&[]), Err(StatsError::EmptyData));
+        assert_eq!(RayleighFit::try_fit(&[f64::NAN]), Err(StatsError::NoFiniteData));
+        assert_eq!(try_median(&[3.0, 1.0, 2.0]), Ok(2.0));
+    }
+
+    #[test]
+    fn rayleigh_fit_ignores_non_finite_samples() {
+        let clean = [1.0, 1.2, 1.5, 2.0, 2.5];
+        let dirty = [1.0, f64::NAN, 1.2, 1.5, f64::NEG_INFINITY, 2.0, 2.5];
+        assert_eq!(RayleighFit::fit(&clean), RayleighFit::try_fit(&dirty).unwrap());
     }
 }

@@ -6,7 +6,8 @@
 //! ```
 //!
 //! Artefact names: fig2, bios, fig4, fig5, fig6, fig7, fig8, table1,
-//! table2, background, fig9, table3, fig10, fig11, table4, extensions.
+//! table2, background, fig9, table3, fig10, fig11, table4, extensions,
+//! impairments.
 //!
 //! Independent artefacts fan out across the `emsc-runtime` worker
 //! pool (the big grids — Table II, Table III, the background stress —
@@ -18,6 +19,7 @@
 //! the paper's numbers.
 
 use emsc_core::experiments::covert_figs;
+use emsc_core::experiments::impairments::{impairment_sweep, render_impairment_rows};
 use emsc_core::experiments::keylog_table::{render_table4, table4, KeylogScale};
 use emsc_core::experiments::spectral::{fig11, fig2, fig2_bios, render_bios, Scale};
 use emsc_core::experiments::tables::{
@@ -133,6 +135,12 @@ fn main() {
     if want("table4") {
         artefacts
             .push(("table4", Box::new(move || render_table4(&table4(KeylogScale::paper(), seed)))));
+    }
+    if want("impairments") {
+        artefacts.push((
+            "impairments",
+            Box::new(move || render_impairment_rows(&impairment_sweep(TableScale::paper(), seed))),
+        ));
     }
     if want("extensions") {
         artefacts.push((

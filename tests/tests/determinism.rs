@@ -44,6 +44,7 @@ fn assert_rows_bit_identical(a: &[ChannelRow], b: &[ChannelRow]) {
             "recovery_rate for {}",
             ra.label
         );
+        assert_eq!(ra.decode_failures, rb.decode_failures, "decode_failures for {}", ra.label);
     }
 }
 
@@ -68,6 +69,33 @@ fn channel_grid_rows_depend_on_the_seed() {
             || ra.tr_bps.to_bits() != rb.tr_bps.to_bits()),
         "different base seeds must change at least one row"
     );
+}
+
+#[test]
+fn impairment_sweep_is_identical_across_thread_counts() {
+    use emsc_core::experiments::impairments::impairment_sweep;
+    let scale = TableScale { payload_bytes: 16, runs: 1 };
+    let serial = with_threads(1, || impairment_sweep(scale, 2020));
+    let pooled = with_threads(3, || impairment_sweep(scale, 2020));
+    assert_eq!(serial.len(), pooled.len());
+    for (ra, rb) in serial.iter().zip(&pooled) {
+        assert_eq!(ra.severity, rb.severity);
+        assert_eq!(ra.label, rb.label);
+        assert_eq!(ra.ber.to_bits(), rb.ber.to_bits(), "ber at severity {}", ra.severity);
+        assert_eq!(ra.ip.to_bits(), rb.ip.to_bits(), "ip at severity {}", ra.severity);
+        assert_eq!(ra.dp.to_bits(), rb.dp.to_bits(), "dp at severity {}", ra.severity);
+        assert_eq!(
+            ra.recovery_rate.to_bits(),
+            rb.recovery_rate.to_bits(),
+            "recovery_rate at severity {}",
+            ra.severity
+        );
+        assert_eq!(
+            ra.decode_failures, rb.decode_failures,
+            "decode_failures at severity {}",
+            ra.severity
+        );
+    }
 }
 
 #[test]

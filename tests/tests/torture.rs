@@ -1,0 +1,280 @@
+//! Torture corpus: no public receive-chain entry point may panic.
+//!
+//! Every capture here is one a real deployment can produce — a dead
+//! dongle (empty), a capture cut off mid-transfer, a saturated front
+//! end, raw DC, pure noise, or NaN-laced sample streams from a buggy
+//! driver. The contract pinned by this suite: each public RX entry
+//! point either returns a typed error or an explicit empty report.
+//! Panics are the one forbidden outcome.
+
+use std::io::{self, Read};
+
+use emsc_covert::frame::{deframe, frame_payload, try_deframe, FrameConfig, FrameError};
+use emsc_covert::rx::{estimate_bit_period, find_switching_frequency, Receiver, RxConfig, RxError};
+use emsc_keylog::{Detector, DetectorConfig};
+use emsc_sdr::error::{CaptureError, StatsError};
+use emsc_sdr::impair::{apply_all, Impairment};
+use emsc_sdr::record::read_rtl_u8;
+use emsc_sdr::stats::{try_mean, try_median, try_quantile, Histogram, RayleighFit};
+use emsc_sdr::{Capture, Complex};
+
+const FS: f64 = 2.4e6;
+const F_SW: f64 = 250e3;
+
+fn capture(samples: Vec<Complex>) -> Capture {
+    Capture { samples, sample_rate: FS, center_freq: F_SW }
+}
+
+/// A deterministic xorshift so the corpus needs no RNG plumbing.
+fn noise(n: usize, mut state: u64) -> Vec<Complex> {
+    (0..n)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let re = ((state & 0xFFFF) as f64 / 65535.0) - 0.5;
+            let im = (((state >> 16) & 0xFFFF) as f64 / 65535.0) - 0.5;
+            Complex::new(re, im)
+        })
+        .collect()
+}
+
+/// An on-off-keyed tone at the VRM line: structurally a transmission,
+/// so truncating it mid-"frame" exercises the decode tail.
+fn ook_tone(n: usize, bit_samples: usize) -> Vec<Complex> {
+    (0..n)
+        .map(|i| {
+            let on = (i / bit_samples).is_multiple_of(2);
+            let amp = if on { 0.5 } else { 0.02 };
+            // Carrier at baseband 0 Hz (center_freq == f_sw).
+            Complex::new(amp, 0.0) + noise(1, i as u64 + 1)[0].scale(0.05)
+        })
+        .collect()
+}
+
+/// The corpus: label plus capture. Degenerate sample rates get their
+/// own entries below (they need different `Capture` fields).
+fn corpus() -> Vec<(&'static str, Capture)> {
+    let mut nan_laced = ook_tone(60_000, 600);
+    for i in (0..nan_laced.len()).step_by(97) {
+        nan_laced[i] = Complex::new(f64::NAN, f64::INFINITY);
+    }
+    let all_nan = vec![Complex::new(f64::NAN, f64::NAN); 20_000];
+    let clipped: Vec<Complex> = ook_tone(60_000, 600)
+        .into_iter()
+        .map(|s| Complex::new(s.re.clamp(-0.03, 0.03), s.im.clamp(-0.03, 0.03)))
+        .collect();
+    let mut truncated = ook_tone(120_000, 600);
+    truncated.truncate(truncated.len() / 3 + 17);
+
+    vec![
+        ("empty", capture(Vec::new())),
+        ("one-sample", capture(vec![Complex::new(0.1, 0.0)])),
+        ("shorter-than-window", capture(noise(100, 5))),
+        ("dc-only", capture(vec![Complex::new(0.3, 0.0); 50_000])),
+        ("silence", capture(vec![Complex::new(0.0, 0.0); 50_000])),
+        ("pure-noise", capture(noise(50_000, 42))),
+        ("nan-laced", capture(nan_laced)),
+        ("all-nan", capture(all_nan)),
+        ("hard-clipped", capture(clipped)),
+        ("truncated-mid-frame", capture(truncated)),
+    ]
+}
+
+fn receiver() -> Receiver {
+    Receiver::new(RxConfig::new(F_SW, 250e-6))
+}
+
+#[test]
+fn receiver_entry_points_never_panic_on_the_corpus() {
+    let rx = receiver();
+    for (label, cap) in corpus() {
+        // Fallible paths: typed error or a report — both fine, panic
+        // is not.
+        let _ = rx.receive(&cap).map_err(|e| format!("{label}: {e}"));
+        let _ = rx.receive_blind(&cap).map_err(|e| format!("{label}: {e}"));
+        // Panic-free wrappers must degrade to an explicit empty
+        // report, never propagate a failure.
+        let r = rx.demodulate(&cap);
+        if rx.receive(&cap).is_err() {
+            assert!(r.bits.is_empty(), "{label}: failed decode must yield the empty report");
+        }
+        let rb = rx.demodulate_blind(&cap);
+        if rx.receive_blind(&cap).is_err() {
+            assert!(rb.bits.is_empty(), "{label}: failed blind decode must yield empty report");
+        }
+        let _ = find_switching_frequency(&cap, 100e3, 500e3);
+    }
+}
+
+#[test]
+fn structural_failures_map_to_the_right_typed_errors() {
+    let rx = receiver();
+    assert_eq!(
+        rx.receive(&capture(Vec::new())),
+        Err(RxError::Capture(CaptureError::Empty)),
+        "empty capture"
+    );
+    assert!(
+        matches!(
+            rx.receive(&capture(noise(100, 5))),
+            Err(RxError::Capture(CaptureError::TooShort { .. }))
+        ),
+        "sub-window capture"
+    );
+    assert!(
+        matches!(
+            rx.receive(&capture(vec![Complex::new(f64::NAN, f64::NAN); 20_000])),
+            Err(RxError::Capture(CaptureError::NonFinite { .. }))
+        ),
+        "all-NaN capture"
+    );
+    // Silence is NOT an error: nothing sent is a legitimate decode.
+    let silent = rx.receive(&capture(vec![Complex::new(0.0, 0.0); 50_000]));
+    assert!(silent.is_ok(), "silence must decode to Ok: {silent:?}");
+
+    // Degenerate sample rates are capture errors, not panics.
+    for rate in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+        let cap = Capture { samples: noise(10_000, 3), sample_rate: rate, center_freq: F_SW };
+        assert_eq!(
+            rx.receive(&cap),
+            Err(RxError::Capture(CaptureError::InvalidSampleRate)),
+            "sample rate {rate}"
+        );
+    }
+
+    // A band that contains no configured harmonic is NoCarrier.
+    let off_band = Capture { samples: noise(10_000, 3), sample_rate: FS, center_freq: 1e9 };
+    assert_eq!(rx.receive(&off_band), Err(RxError::NoCarrier));
+}
+
+#[test]
+fn receiver_constructor_rejects_bad_configs_without_panicking() {
+    let good = RxConfig::new(F_SW, 250e-6);
+    let cases: Vec<RxConfig> = vec![
+        RxConfig { fft_size: 300, ..good.clone() },
+        RxConfig { decimation: 0, ..good.clone() },
+        RxConfig { harmonics: 0, ..good.clone() },
+        RxConfig { expected_bit_period_s: 0.0, ..good.clone() },
+        RxConfig { expected_bit_period_s: f64::NAN, ..good.clone() },
+        RxConfig { switching_freq_hz: f64::INFINITY, ..good.clone() },
+    ];
+    for cfg in cases {
+        assert!(
+            matches!(Receiver::try_new(cfg), Err(RxError::InvalidConfig(_))),
+            "bad config accepted"
+        );
+    }
+    assert!(Receiver::try_new(good).is_ok());
+}
+
+#[test]
+fn keylog_detector_never_panics_on_the_corpus() {
+    let detector = Detector::new(DetectorConfig::new(F_SW));
+    for (label, cap) in corpus() {
+        let _ = detector.try_detect(&cap).map_err(|e| format!("{label}: {e}"));
+        // The panic-free wrapper degrades to an empty report.
+        let report = detector.detect(&cap);
+        if detector.try_detect(&cap).is_err() {
+            assert!(report.bursts.is_empty(), "{label}: failed detect must yield no bursts");
+        }
+    }
+    for rate in [0.0, f64::NAN] {
+        let cap = Capture { samples: noise(10_000, 3), sample_rate: rate, center_freq: F_SW };
+        assert!(detector.try_detect(&cap).is_err(), "sample rate {rate} must be an error");
+        assert!(detector.detect(&cap).bursts.is_empty());
+    }
+}
+
+#[test]
+fn frame_sync_reports_truncation_and_absence_distinctly() {
+    let config = FrameConfig::default();
+    // No marker anywhere.
+    assert_eq!(try_deframe(&[], config, 1), Err(FrameError::MarkerNotFound));
+    assert_eq!(try_deframe(&[0, 1, 0, 1, 1, 0], config, 1), Err(FrameError::MarkerNotFound));
+    assert_eq!(deframe(&[], config, 1), None);
+
+    // A real frame cut off inside the length header.
+    let bits = frame_payload(b"torture", config);
+    let truncated = &bits[..bits.len().min(config.sync_len + config.zeros_len + 18)];
+    match try_deframe(truncated, config, 1) {
+        Err(FrameError::TruncatedHeader) | Err(FrameError::MarkerNotFound) => {}
+        other => panic!("truncated frame must be a typed error, got {other:?}"),
+    }
+
+    // The full frame still round-trips.
+    let full = try_deframe(&bits, config, 1).expect("intact frame must deframe");
+    assert_eq!(full.payload, b"torture");
+}
+
+#[test]
+fn estimation_helpers_are_total_on_garbage() {
+    // Period estimation over empty / NaN / constant energy.
+    assert_eq!(estimate_bit_period(&[], 1e-5, 50e-6, 5e-3), None);
+    let nan_energy = vec![f64::NAN; 256];
+    let _ = estimate_bit_period(&nan_energy, 1e-5, 50e-6, 5e-3);
+    let flat = vec![1.0; 256];
+    let _ = estimate_bit_period(&flat, 1e-5, 50e-6, 5e-3);
+
+    // Stats: typed errors, no panics.
+    assert_eq!(try_quantile(&[], 0.5), Err(StatsError::EmptyData));
+    assert_eq!(try_quantile(&[1.0], f64::NAN), Err(StatsError::InvalidQuantile));
+    assert_eq!(try_median(&[]), Err(StatsError::EmptyData));
+    assert_eq!(try_mean(&[]), Err(StatsError::EmptyData));
+    assert_eq!(try_mean(&[f64::NAN, f64::NAN]), Err(StatsError::NoFiniteData));
+    assert!(Histogram::try_from_data(&[], 10).is_err());
+    assert!(Histogram::try_from_data(&[f64::NAN], 10).is_err());
+    assert!(RayleighFit::try_fit(&[]).is_err());
+    assert!(RayleighFit::try_fit(&[f64::NAN]).is_err());
+}
+
+/// A reader that fails mid-stream, after yielding some valid bytes.
+struct FailAfter {
+    remaining: usize,
+}
+
+impl Read for FailAfter {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if self.remaining == 0 {
+            return Err(io::Error::new(io::ErrorKind::BrokenPipe, "dongle unplugged"));
+        }
+        let n = buf.len().min(self.remaining);
+        for b in &mut buf[..n] {
+            *b = 0x80;
+        }
+        self.remaining -= n;
+        Ok(n)
+    }
+}
+
+#[test]
+fn recording_reader_failures_surface_as_io_errors() {
+    // Mid-capture failure is an Err, not a panic or a silent truncate.
+    let err = read_rtl_u8(FailAfter { remaining: 1000 }, FS, F_SW).unwrap_err();
+    assert_eq!(err.kind(), io::ErrorKind::BrokenPipe);
+
+    // An odd-length (truncated IQ pair) stream still parses the pairs
+    // it has.
+    let bytes = vec![0x80u8; 2001];
+    let cap = read_rtl_u8(&bytes[..], FS, F_SW).expect("odd-length stream must parse");
+    assert_eq!(cap.samples.len(), 1000);
+}
+
+#[test]
+fn impaired_corpus_still_never_panics() {
+    let stack = [
+        Impairment::ClockDrift { ppm: 300.0 },
+        Impairment::AgcStep { at_s: 0.005, gain: 0.4 },
+        Impairment::DroppedSamples { at_s: 0.004, count: 5_000 },
+        Impairment::ImpulseBurst { at_s: 0.002, duration_s: 0.01, amplitude: 3.0 },
+        Impairment::Clipping { level: 0.2 },
+    ];
+    let rx = receiver();
+    let detector = Detector::new(DetectorConfig::new(F_SW));
+    for (label, mut cap) in corpus() {
+        apply_all(&mut cap, &stack, 0xDEAD_BEEF);
+        let _ = rx.receive(&cap).map_err(|e| format!("{label}: {e}"));
+        let _ = rx.demodulate(&cap);
+        let _ = detector.detect(&cap);
+    }
+}
