@@ -25,12 +25,14 @@
 //! | Table IV (keylogging accuracy) | [`keylog_table::table4`] |
 //! | E1/E2 (extensions: fingerprinting, timing) | [`extensions`] |
 //! | E3 (BER vs. channel impairments) | [`impairments::impairment_sweep`] |
+//! | E4 (multi-tenant streaming vs. batch) | [`streaming::streaming_sessions`] |
 
 pub mod covert_figs;
 pub mod extensions;
 pub mod impairments;
 pub mod keylog_table;
 pub mod spectral;
+pub mod streaming;
 pub mod tables;
 
 /// Renders a fixed-width text table: a header row plus data rows.

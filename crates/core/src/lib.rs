@@ -11,6 +11,8 @@
 //! - [`keylog_run`]: keylogging runs with TPR/FPR and word scoring,
 //! - [`fingerprint_run`]: the §III website-fingerprinting extension,
 //! - [`countermeasure`]: the §III/§VI mitigations,
+//! - [`session`]: multi-tenant streaming capture sessions multiplexed
+//!   over the worker pool,
 //! - [`experiments`]: one function per paper table and figure.
 //!
 //! # Examples
@@ -39,6 +41,7 @@ pub mod experiments;
 pub mod fingerprint_run;
 pub mod keylog_run;
 pub mod laptop;
+pub mod session;
 
 pub use chain::{Chain, ChainRun, Setup};
 pub use countermeasure::Countermeasure;
@@ -46,3 +49,6 @@ pub use covert_run::{CovertOutcome, CovertScenario};
 pub use fingerprint_run::{FingerprintOutcome, FingerprintScenario};
 pub use keylog_run::{KeylogOutcome, KeylogScenario};
 pub use laptop::{Laptop, Microarch, Os};
+pub use session::{
+    ClosedSession, SessionError, SessionId, SessionOutput, SessionRegistry, SessionStats,
+};

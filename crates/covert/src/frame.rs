@@ -141,11 +141,7 @@ pub fn try_deframe(
     }
     let mut best: Option<(usize, usize)> = None; // (errors, position)
     for pos in 0..=received.len() - m {
-        let errors = received[pos..pos + m]
-            .iter()
-            .zip(&START_MARKER)
-            .filter(|(a, b)| (**a & 1) != **b)
-            .count();
+        let errors = marker_errors_at(received, pos);
         if errors <= max_marker_errors && best.is_none_or(|(e, _)| errors < e) {
             best = Some((errors, pos));
             if errors == 0 {
@@ -155,10 +151,70 @@ pub fn try_deframe(
     }
     let (_, pos) = best.ok_or(FrameError::MarkerNotFound)?;
     let payload_start = pos + m;
-    let body = &received[payload_start..];
-    // Decode just the 16-bit length prefix first, then exactly the
-    // declared number of payload bytes — anything after belongs to the
-    // channel (or the next packet), not to this frame.
+    let (payload, corrections) = decode_body(&received[payload_start..], config)?;
+    Ok(Deframed { payload, payload_start, corrections })
+}
+
+/// Number of marker-bit mismatches when [`START_MARKER`] is laid over
+/// `received` at `pos` (bits compared on their LSB, as on air).
+///
+/// Shared by [`try_deframe`] and the streaming
+/// [`crate::stream::Deframer`] so both judge candidates identically.
+pub(crate) fn marker_errors_at(received: &[u8], pos: usize) -> usize {
+    received[pos..pos + START_MARKER.len()]
+        .iter()
+        .zip(&START_MARKER)
+        .filter(|(a, b)| (**a & 1) != **b)
+        .count()
+}
+
+/// Coded bits occupied by the 16-bit length header.
+pub(crate) fn header_span(config: FrameConfig) -> usize {
+    // 16 bits → 4 codewords → 28 coded bits under parity.
+    if config.parity {
+        28
+    } else {
+        16
+    }
+}
+
+/// Coded bits occupied by a `declared`-byte payload body.
+pub(crate) fn body_span(config: FrameConfig, declared: usize) -> usize {
+    if config.parity {
+        declared * 8 / 4 * 7
+    } else {
+        declared * 8
+    }
+}
+
+/// Declared payload byte count peeked from the first
+/// [`header_span`] bits after the marker, or `None` when fewer bits
+/// are available yet. Only meaningful for non-interleaved frames,
+/// where the header occupies a fixed prefix of the on-air body.
+pub(crate) fn peek_declared(body: &[u8], config: FrameConfig) -> Option<usize> {
+    let span = header_span(config);
+    if body.len() < span {
+        return None;
+    }
+    let header_bits =
+        if config.parity { decode_bits(&body[..span]).0 } else { body[..span].to_vec() };
+    let header = bits_to_bytes(&header_bits);
+    Some(u16::from_be_bytes([header[0], header[1]]) as usize)
+}
+
+/// Decodes the frame body that follows a located marker: undoes the
+/// interleaving, reads the 16-bit length header, then exactly the
+/// declared number of payload bytes — anything after belongs to the
+/// channel (or the next packet), not to this frame. Returns the
+/// payload and the total Hamming corrections applied.
+///
+/// Shared by [`try_deframe`] and the streaming
+/// [`crate::stream::Deframer`], which hands it the same bit span the
+/// batch path would see.
+pub(crate) fn decode_body(
+    body: &[u8],
+    config: FrameConfig,
+) -> Result<(Vec<u8>, usize), FrameError> {
     // Undo interleaving first, if the frame used it: the whole coded
     // body (length header + payload) shares the interleaver blocks.
     let deinterleaved;
@@ -170,24 +226,24 @@ pub fn try_deframe(
         _ => body,
     };
     let (header_bits, header_corrections, len_span) = if config.parity {
-        // 16 bits → 4 codewords → 28 coded bits.
-        let span = 28.min(body.len());
+        let span = header_span(config).min(body.len());
         let (bits, fixes) = decode_bits(&body[..span]);
         (bits, fixes, span)
     } else {
-        (body[..16.min(body.len())].to_vec(), 0, 16.min(body.len()))
+        let span = header_span(config).min(body.len());
+        (body[..span].to_vec(), 0, span)
     };
     let header = bits_to_bytes(&header_bits);
     if header.len() < 2 {
         return Err(FrameError::TruncatedHeader);
     }
     let declared = u16::from_be_bytes([header[0], header[1]]) as usize;
-    let body_span = if config.parity { declared * 8 / 4 * 7 } else { declared * 8 };
-    let rest = &body[len_span..(len_span + body_span).min(body.len())];
+    let span = body_span(config, declared);
+    let rest = &body[len_span..(len_span + span).min(body.len())];
     let (bits, corrections) = if config.parity { decode_bits(rest) } else { (rest.to_vec(), 0) };
     let mut bytes = bits_to_bytes(&bits);
     bytes.truncate(declared);
-    Ok(Deframed { payload: bytes, payload_start, corrections: corrections + header_corrections })
+    Ok((bytes, corrections + header_corrections))
 }
 
 #[cfg(test)]

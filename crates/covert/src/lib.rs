@@ -14,6 +14,9 @@
 //!   threshold labeling,
 //! - [`matched`]: the matched-filter receiver the paper rejected
 //!   (kept for the ablation),
+//! - [`stream`]: the streaming receive chain — resumable
+//!   [`stream::StreamingReceiver`]/[`stream::Deframer`] state machines
+//!   fed IQ chunks, bit-identical to the batch path,
 //! - [`metrics`]: insertion/deletion-aware alignment producing the
 //!   BER/IP/DP numbers of Tables II and III,
 //! - [`capacity`]: information-theoretic bounds on the measured
@@ -36,9 +39,11 @@ pub mod matched;
 pub mod metrics;
 pub mod packets;
 pub mod rx;
+pub mod stream;
 pub mod tx;
 
 pub use frame::FrameError;
 pub use metrics::{align, align_semiglobal, align_trace, AlignOp, Alignment};
-pub use rx::{Receiver, RxConfig, RxError, RxReport};
+pub use rx::{Receiver, RxConfig, RxError, RxReport, SyncLoss};
+pub use stream::{Deframer, FrameEvent, RxProgress, StreamingReceiver};
 pub use tx::{Transmitter, TxConfig};

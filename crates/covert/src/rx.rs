@@ -25,6 +25,55 @@ use emsc_sdr::sliding::try_energy_signal;
 use emsc_sdr::stats::{median, quantile, Histogram};
 use emsc_sdr::Capture;
 
+/// Why the acquisition / symbol-sync stage could not lock — the
+/// diagnostic payload of [`RxError::SyncLost`].
+///
+/// Fieldless so [`RxError`] stays `Copy`/`Eq`; each variant names one
+/// concrete way [`try_find_switching_frequency`] or
+/// [`try_estimate_bit_period`] loses lock, so a long-running streaming
+/// session can report *why* instead of a bare `None`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncLoss {
+    /// The capture is shorter than one spectral-analysis frame, so no
+    /// spectrum exists to scan for the VRM line.
+    NoSpectralFrames,
+    /// The requested scan band contains no bin of the captured span
+    /// (tuner parked outside the band of interest).
+    BandOutsideCapture,
+    /// Every bin inside the scan band carries zero energy — nothing is
+    /// radiating where the VRM line should be.
+    SilentBand,
+    /// Too few energy samples to autocorrelate for a bit clock.
+    TooFewSamples,
+    /// The energy signal's time step is non-positive.
+    InvalidTimeStep,
+    /// The plausible-period window maps to an empty lag range at this
+    /// time step and signal length.
+    EmptyLagRange,
+    /// The energy signal has no variance (flat line), so its
+    /// autocorrelation is undefined.
+    NoVariance,
+    /// No autocorrelation peak stands out above the significance bar —
+    /// the signal carries no visible bit clock.
+    NoPeriodicity,
+}
+
+impl std::fmt::Display for SyncLoss {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let msg = match self {
+            SyncLoss::NoSpectralFrames => "capture shorter than one spectral-analysis frame",
+            SyncLoss::BandOutsideCapture => "scan band lies outside the captured span",
+            SyncLoss::SilentBand => "no energy anywhere in the scan band",
+            SyncLoss::TooFewSamples => "too few energy samples to autocorrelate",
+            SyncLoss::InvalidTimeStep => "non-positive energy time step",
+            SyncLoss::EmptyLagRange => "period window maps to an empty lag range",
+            SyncLoss::NoVariance => "energy signal has no variance",
+            SyncLoss::NoPeriodicity => "no autocorrelation peak above the significance bar",
+        };
+        f.write_str(msg)
+    }
+}
+
 /// Why the receiver could not demodulate a capture.
 ///
 /// `Copy`/`Eq` so experiment grids can carry per-cell decode failures
@@ -41,6 +90,9 @@ pub enum RxError {
     /// No configured VRM harmonic falls inside the captured band, so
     /// there is no carrier to track.
     NoCarrier,
+    /// The acquisition stage lost (or never achieved) lock, for the
+    /// stated reason.
+    SyncLost(SyncLoss),
 }
 
 impl std::fmt::Display for RxError {
@@ -51,6 +103,7 @@ impl std::fmt::Display for RxError {
             RxError::NoCarrier => {
                 write!(f, "no VRM harmonic falls inside the captured band")
             }
+            RxError::SyncLost(loss) => write!(f, "acquisition lost lock: {loss}"),
         }
     }
 }
@@ -218,12 +271,38 @@ impl RxReport {
 /// standard peak-detection step the paper uses when the VRM band is
 /// not already known for the device (§V-C).
 pub fn find_switching_frequency(capture: &Capture, lo_hz: f64, hi_hz: f64) -> Option<f64> {
+    try_find_switching_frequency(capture, lo_hz, hi_hz).ok()
+}
+
+/// Diagnosing variant of [`find_switching_frequency`]: reports *why*
+/// no VRM line could be located, so a streaming session that fails to
+/// acquire can surface the reason in its per-session stats.
+///
+/// # Errors
+///
+/// [`RxError::SyncLost`] carrying the [`SyncLoss`] reason: a capture
+/// too short to form one spectral frame, a scan band outside the
+/// captured span, or a band with no energy at all.
+pub fn try_find_switching_frequency(
+    capture: &Capture,
+    lo_hz: f64,
+    hi_hz: f64,
+) -> Result<f64, RxError> {
     use emsc_sdr::stft::{stft, StftConfig};
     use emsc_sdr::window::Window;
+    if capture.samples.len() < 1024 {
+        return Err(RxError::SyncLost(SyncLoss::NoSpectralFrames));
+    }
     let spec =
         stft(&capture.samples, capture.sample_rate, &StftConfig::new(1024, 4096, Window::Hann));
-    let bin = spec.dominant_bin_in(capture.baseband(lo_hz), capture.baseband(hi_hz))?;
-    Some(emsc_sdr::fft::bin_frequency(bin, 1024, capture.sample_rate) + capture.center_freq)
+    let bin = spec
+        .dominant_bin_in(capture.baseband(lo_hz), capture.baseband(hi_hz))
+        .ok_or(RxError::SyncLost(SyncLoss::BandOutsideCapture))?;
+    let total: f64 = (0..spec.frames()).map(|t| spec.frame(t)[bin]).sum();
+    if total <= 0.0 {
+        return Err(RxError::SyncLost(SyncLoss::SilentBand));
+    }
+    Ok(emsc_sdr::fft::bin_frequency(bin, 1024, capture.sample_rate) + capture.center_freq)
 }
 
 /// Estimates the signalling period of an on-off-keyed energy signal
@@ -236,19 +315,39 @@ pub fn find_switching_frequency(capture: &Capture, lo_hz: f64, hi_hz: f64) -> Op
 /// is *for* — a maximally periodic header the receiver can lock onto
 /// blind.
 pub fn estimate_bit_period(energy: &[f64], dt_s: f64, min_s: f64, max_s: f64) -> Option<f64> {
-    if energy.len() < 16 || dt_s <= 0.0 {
-        return None;
+    try_estimate_bit_period(energy, dt_s, min_s, max_s).ok()
+}
+
+/// Diagnosing variant of [`estimate_bit_period`]: reports *why* no bit
+/// clock could be recovered as a [`SyncLoss`], so streaming sessions
+/// can log the cause when they fall back to the configured prior.
+///
+/// # Errors
+///
+/// The [`SyncLoss`] reason: too few samples, a bad time step, an
+/// empty lag range, a flat signal, or no autocorrelation peak.
+pub fn try_estimate_bit_period(
+    energy: &[f64],
+    dt_s: f64,
+    min_s: f64,
+    max_s: f64,
+) -> Result<f64, SyncLoss> {
+    if energy.len() < 16 {
+        return Err(SyncLoss::TooFewSamples);
+    }
+    if dt_s <= 0.0 {
+        return Err(SyncLoss::InvalidTimeStep);
     }
     let mean = energy.iter().sum::<f64>() / energy.len() as f64;
     let x: Vec<f64> = energy.iter().map(|&v| v - mean).collect();
     let lo = (min_s / dt_s).floor().max(1.0) as usize;
     let hi = ((max_s / dt_s).ceil() as usize).min(x.len() / 2);
     if lo >= hi {
-        return None;
+        return Err(SyncLoss::EmptyLagRange);
     }
     let energy0: f64 = x.iter().map(|&v| v * v).sum();
     if energy0 <= 0.0 {
-        return None;
+        return Err(SyncLoss::NoVariance);
     }
     let mut best: Option<(usize, f64)> = None;
     let mut prev = f64::INFINITY;
@@ -271,7 +370,7 @@ pub fn estimate_bit_period(energy: &[f64], dt_s: f64, min_s: f64, max_s: f64) ->
         }
         prev = r;
     }
-    best.map(|(lag, _)| lag as f64 * dt_s)
+    best.map(|(lag, _)| lag as f64 * dt_s).ok_or(SyncLoss::NoPeriodicity)
 }
 
 /// The batch-processing receiver.
@@ -329,12 +428,7 @@ impl Receiver {
 
     /// The harmonic bins of `S` that fall inside the captured band.
     fn carrier_bins(&self, capture: &Capture) -> Vec<usize> {
-        let cfg = &self.config;
-        (1..=cfg.harmonics)
-            .map(|h| cfg.switching_freq_hz * h as f64)
-            .filter(|f| (f - capture.center_freq).abs() < capture.sample_rate / 2.0)
-            .map(|f| frequency_bin(f - capture.center_freq, cfg.fft_size, capture.sample_rate))
-            .collect()
+        carrier_bins_for(&self.config, capture.sample_rate, capture.center_freq)
     }
 
     /// Demodulates a capture *blind*: the bit period is estimated from
@@ -423,115 +517,152 @@ impl Receiver {
         let sanitized_samples = energy_raw.sanitized;
         let energy = moving_average(&energy_raw.samples, 3);
 
-        // Stage 2: edge detection.
-        let expected_bit = (cfg.expected_bit_period_s / dt).max(4.0);
-        let l_d = (((expected_bit * cfg.edge_kernel_fraction) / 2.0).round() as usize * 2).max(4);
-        let edge_response = convolve_same(&energy, &edge_kernel(l_d));
-        let positive: Vec<f64> = edge_response.iter().map(|&v| v.max(0.0)).collect();
-        let robust_max = quantile(&positive, 0.98).max(1e-30);
-        let min_dist = (expected_bit * 0.55).round() as usize;
-        let peaks =
-            find_peaks(&edge_response, cfg.peak_threshold_frac * robust_max, min_dist.max(1));
-        let raw_starts: Vec<usize> = peaks.iter().map(|p| p.index).collect();
+        // Stage 2a: edge detection.
+        let edge_response = convolve_same(&energy, &edge_kernel(edge_kernel_len(cfg, dt)));
+        Ok(decode_from_energy(cfg, energy, edge_response, dt, sanitized_samples))
+    }
+}
 
-        // Stage 3: timing from the inter-start distance distribution.
-        let mut distances_s: Vec<f64> =
-            raw_starts.windows(2).map(|w| (w[1] - w[0]) as f64 * dt).collect();
-        // Two-pass period recovery: the expected-period prior is only
-        // approximate (jitter and wake latency lengthen real bits), so
-        // first take the median over a generous window around the
-        // prior, then re-take it over a tight window around that
-        // estimate. Multi-bit gaps (missed starts) are excluded both
-        // times so they cannot bias the median upward.
-        let median_in = |lo: f64, hi: f64, fallback: f64| {
-            let kept: Vec<f64> =
-                distances_s.iter().copied().filter(|&d| d >= lo && d <= hi).collect();
-            if kept.is_empty() {
-                fallback
-            } else {
-                median(&kept)
-            }
-        };
-        let prior = cfg.expected_bit_period_s;
-        let coarse = median_in(0.4 * prior, 3.0 * prior, prior);
-        let bit_period_s = median_in(0.55 * coarse, 1.6 * coarse, coarse);
-        distances_s.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+/// The harmonic bins of `S` that fall inside a band captured at
+/// `sample_rate` around `center_freq` — shared by the batch receiver
+/// and the streaming front end, which has no [`Capture`] to hand.
+pub(crate) fn carrier_bins_for(cfg: &RxConfig, sample_rate: f64, center_freq: f64) -> Vec<usize> {
+    (1..=cfg.harmonics)
+        .map(|h| cfg.switching_freq_hz * h as f64)
+        .filter(|f| (f - center_freq).abs() < sample_rate / 2.0)
+        .map(|f| frequency_bin(f - center_freq, cfg.fft_size, sample_rate))
+        .collect()
+}
 
-        let starts = if cfg.gap_fill {
-            // Second-pass evidence bar: half the 10th-percentile
-            // strength of the first-pass edges. Adaptive, so weak
-            // (0-bit) edges still qualify while interrupt bumps —
-            // which sit well below real edges on platforms with
-            // strong housekeeping signatures — do not.
-            let detected: Vec<f64> = raw_starts.iter().map(|&i| edge_response[i]).collect();
-            let low_bar = if detected.is_empty() {
-                0.12 * robust_max
-            } else {
-                0.35 * quantile(&detected, 0.10)
-            };
-            fill_gaps(&raw_starts, bit_period_s / dt, &edge_response, low_bar)
+/// Expected bit period in energy samples, floored at the 4-sample
+/// minimum every downstream stage assumes.
+fn expected_bit_samples(cfg: &RxConfig, dt: f64) -> f64 {
+    (cfg.expected_bit_period_s / dt).max(4.0)
+}
+
+/// Length of the §IV-B2 edge-detection kernel for this configuration
+/// and energy time step (even, at least 4 taps).
+pub(crate) fn edge_kernel_len(cfg: &RxConfig, dt: f64) -> usize {
+    let expected_bit = expected_bit_samples(cfg, dt);
+    (((expected_bit * cfg.edge_kernel_fraction) / 2.0).round() as usize * 2).max(4)
+}
+
+/// Stages 2b–4 of the §IV-B pipeline: peak finding, timing recovery,
+/// gap filling, per-bit power and thresholding, given an already
+/// smoothed energy signal and its edge response.
+///
+/// This is the *decision* half of [`Receiver::receive`], factored out
+/// so the streaming receiver — which accumulates `energy` and
+/// `edge_response` incrementally — runs the exact same code on the
+/// exact same values and is bit-identical to the batch path by
+/// construction.
+pub(crate) fn decode_from_energy(
+    cfg: &RxConfig,
+    energy: Vec<f64>,
+    edge_response: Vec<f64>,
+    dt: f64,
+    sanitized_samples: usize,
+) -> RxReport {
+    let expected_bit = expected_bit_samples(cfg, dt);
+    let positive: Vec<f64> = edge_response.iter().map(|&v| v.max(0.0)).collect();
+    let robust_max = quantile(&positive, 0.98).max(1e-30);
+    let min_dist = (expected_bit * 0.55).round() as usize;
+    let peaks = find_peaks(&edge_response, cfg.peak_threshold_frac * robust_max, min_dist.max(1));
+    let raw_starts: Vec<usize> = peaks.iter().map(|p| p.index).collect();
+
+    // Stage 3: timing from the inter-start distance distribution.
+    let mut distances_s: Vec<f64> =
+        raw_starts.windows(2).map(|w| (w[1] - w[0]) as f64 * dt).collect();
+    // Two-pass period recovery: the expected-period prior is only
+    // approximate (jitter and wake latency lengthen real bits), so
+    // first take the median over a generous window around the
+    // prior, then re-take it over a tight window around that
+    // estimate. Multi-bit gaps (missed starts) are excluded both
+    // times so they cannot bias the median upward.
+    let median_in = |lo: f64, hi: f64, fallback: f64| {
+        let kept: Vec<f64> = distances_s.iter().copied().filter(|&d| d >= lo && d <= hi).collect();
+        if kept.is_empty() {
+            fallback
         } else {
-            raw_starts.clone()
-        };
-
-        // Stage 4: per-bit average power and bimodal threshold.
-        // Windows much longer than the signalling period are
-        // transmission pauses (lead-in/lead-out), not bits — skip them.
-        let period_samples = bit_period_s / dt;
-        let mean_sq = |w: &[f64]| {
-            if w.is_empty() {
-                0.0
-            } else {
-                w.iter().map(|&v| v * v).sum::<f64>() / w.len() as f64
-            }
-        };
-        let mut powers = Vec::with_capacity(starts.len());
-        for (i, &s) in starts.iter().enumerate() {
-            let end = if i + 1 < starts.len() {
-                starts[i + 1]
-            } else {
-                (s + period_samples.round() as usize).min(energy.len())
-            };
-            if end > s && (end - s) as f64 <= 1.9 * period_samples {
-                let p = match cfg.label_feature {
-                    LabelFeature::MeanPower => mean_sq(&energy[s..end]),
-                    LabelFeature::RzDifferential => {
-                        let mid = s + (end - s) / 2;
-                        mean_sq(&energy[s..mid]) - mean_sq(&energy[mid..end])
-                    }
-                };
-                powers.push(p);
-            }
+            median(&kept)
         }
-        let (threshold, threshold_modes) = select_threshold(&powers);
-        let bits: Vec<u8> = match cfg.threshold_window_bits {
-            None => powers.iter().map(|&p| (p > threshold) as u8).collect(),
-            Some(half) => powers
-                .iter()
-                .enumerate()
-                .map(|(i, &p)| {
-                    let lo = i.saturating_sub(half);
-                    let hi = (i + half + 1).min(powers.len());
-                    let (local, _) = select_threshold(&powers[lo..hi]);
-                    (p > local) as u8
-                })
-                .collect(),
-        };
+    };
+    let prior = cfg.expected_bit_period_s;
+    let coarse = median_in(0.4 * prior, 3.0 * prior, prior);
+    let bit_period_s = median_in(0.55 * coarse, 1.6 * coarse, coarse);
+    distances_s.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
 
-        Ok(RxReport {
-            energy,
-            energy_dt_s: dt,
-            edge_response,
-            raw_starts,
-            starts,
-            distances_s,
-            bit_period_s,
-            powers,
-            threshold,
-            threshold_modes,
-            bits,
-            sanitized_samples,
-        })
+    let starts = if cfg.gap_fill {
+        // Second-pass evidence bar: half the 10th-percentile
+        // strength of the first-pass edges. Adaptive, so weak
+        // (0-bit) edges still qualify while interrupt bumps —
+        // which sit well below real edges on platforms with
+        // strong housekeeping signatures — do not.
+        let detected: Vec<f64> = raw_starts.iter().map(|&i| edge_response[i]).collect();
+        let low_bar =
+            if detected.is_empty() { 0.12 * robust_max } else { 0.35 * quantile(&detected, 0.10) };
+        fill_gaps(&raw_starts, bit_period_s / dt, &edge_response, low_bar)
+    } else {
+        raw_starts.clone()
+    };
+
+    // Stage 4: per-bit average power and bimodal threshold.
+    // Windows much longer than the signalling period are
+    // transmission pauses (lead-in/lead-out), not bits — skip them.
+    let period_samples = bit_period_s / dt;
+    let mean_sq = |w: &[f64]| {
+        if w.is_empty() {
+            0.0
+        } else {
+            w.iter().map(|&v| v * v).sum::<f64>() / w.len() as f64
+        }
+    };
+    let mut powers = Vec::with_capacity(starts.len());
+    for (i, &s) in starts.iter().enumerate() {
+        let end = if i + 1 < starts.len() {
+            starts[i + 1]
+        } else {
+            (s + period_samples.round() as usize).min(energy.len())
+        };
+        if end > s && (end - s) as f64 <= 1.9 * period_samples {
+            let p = match cfg.label_feature {
+                LabelFeature::MeanPower => mean_sq(&energy[s..end]),
+                LabelFeature::RzDifferential => {
+                    let mid = s + (end - s) / 2;
+                    mean_sq(&energy[s..mid]) - mean_sq(&energy[mid..end])
+                }
+            };
+            powers.push(p);
+        }
+    }
+    let (threshold, threshold_modes) = select_threshold(&powers);
+    let bits: Vec<u8> = match cfg.threshold_window_bits {
+        None => powers.iter().map(|&p| (p > threshold) as u8).collect(),
+        Some(half) => powers
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| {
+                let lo = i.saturating_sub(half);
+                let hi = (i + half + 1).min(powers.len());
+                let (local, _) = select_threshold(&powers[lo..hi]);
+                (p > local) as u8
+            })
+            .collect(),
+    };
+
+    RxReport {
+        energy,
+        energy_dt_s: dt,
+        edge_response,
+        raw_starts,
+        starts,
+        distances_s,
+        bit_period_s,
+        powers,
+        threshold,
+        threshold_modes,
+        bits,
+        sanitized_samples,
     }
 }
 

@@ -11,6 +11,8 @@
 //! - [`detect`]: the §V-C detector — short non-overlapping STFT
 //!   windows, band thresholding, and the ≥30 ms duration filter —
 //!   with TPR/FPR scoring against ground truth,
+//! - [`stream`]: the resumable [`stream::StreamingDetector`], fed I/Q
+//!   in chunks and bit-identical to the batch detector,
 //! - [`words`]: gap-based word grouping and the Table IV word-length
 //!   precision/recall metrics,
 //! - [`identify`]: §V-B's timing-based search-space reduction — how
@@ -24,6 +26,7 @@
 pub mod burst;
 pub mod detect;
 pub mod identify;
+pub mod stream;
 pub mod typist;
 pub mod words;
 
@@ -32,6 +35,8 @@ pub use detect::{
     score_detections, DetectError, DetectedBurst, DetectionReport, DetectionScore, Detector,
     DetectorConfig,
 };
+pub use stream::{DetectProgress, StreamingDetector};
+
 pub use identify::{
     digraph_candidates, search_space_reduction, DigraphCandidates, SearchSpaceReduction,
 };

@@ -1,0 +1,302 @@
+//! Incremental keystroke detection from chunked I/Q.
+//!
+//! [`StreamingDetector`] is the resumable counterpart of
+//! [`Detector::try_detect`](crate::detect::Detector::try_detect):
+//! raw samples are pushed in arbitrarily-sized chunks, each completed
+//! STFT window is transformed as soon as its last sample arrives, and
+//! [`StreamingDetector::finish`] runs the global threshold/grouping
+//! pass over the accumulated window energies.
+//!
+//! The streaming path is bit-identical to the batch path by
+//! construction: windows are non-overlapping, so buffering exactly
+//! `window_samples` raw samples and applying the same Hann
+//! coefficients, the same FFT plan and the same bin-sum order performs
+//! the same floating-point operations the batch
+//! [`window_energies`](crate::detect::Detector::window_energies) does,
+//! regardless of how the capture was chunked. The trailing partial
+//! window is dropped in both paths (it still counts towards the
+//! non-finite-majority check, as in batch).
+
+use emsc_sdr::error::CaptureError;
+use emsc_sdr::fft::{frequency_bin, FftPlan};
+use emsc_sdr::iq::Complex;
+use emsc_sdr::window::Window;
+
+use crate::detect::{DetectError, DetectionReport, Detector, DetectorConfig};
+
+/// Progress counters returned by [`StreamingDetector::push`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DetectProgress {
+    /// Completed STFT windows so far (energies accumulated).
+    pub windows: usize,
+    /// Raw samples consumed so far (including the partial tail window).
+    pub samples_seen: usize,
+    /// Non-finite raw samples observed so far.
+    pub non_finite_samples: usize,
+}
+
+/// Resumable keystroke detector: push I/Q chunks, then [`finish`].
+///
+/// [`finish`]: StreamingDetector::finish
+#[derive(Debug, Clone)]
+pub struct StreamingDetector {
+    detector: Detector,
+    sample_rate: f64,
+    plan: FftPlan,
+    win: Vec<f64>,
+    band_bins: Vec<usize>,
+    /// Raw samples of the current (incomplete) window.
+    window: Vec<Complex>,
+    /// FFT scratch, `window_samples` long.
+    buf: Vec<Complex>,
+    energies: Vec<f64>,
+    seen: usize,
+    non_finite: usize,
+    finished: bool,
+}
+
+impl StreamingDetector {
+    /// Creates a streaming detector for captures with the given sample
+    /// rate and tuner centre frequency.
+    ///
+    /// # Errors
+    ///
+    /// [`DetectError::InvalidConfig`] for a degenerate configuration
+    /// (as [`Detector::try_new`]), then
+    /// [`DetectError::Capture`]([`CaptureError::InvalidSampleRate`])
+    /// for a non-positive or non-finite sample rate — the same
+    /// precedence the batch path applies.
+    pub fn new(
+        config: DetectorConfig,
+        sample_rate: f64,
+        center_freq: f64,
+    ) -> Result<Self, DetectError> {
+        let detector = Detector::try_new(config)?;
+        if !(sample_rate > 0.0 && sample_rate.is_finite()) {
+            return Err(DetectError::Capture(CaptureError::InvalidSampleRate));
+        }
+        let cfg = detector.config();
+        let n = cfg.window_samples;
+        // Same band selection as `Detector::window_energies`: harmonic
+        // order, out-of-capture harmonics dropped, nearest-bin mapping.
+        let band_bins: Vec<usize> = (1..=cfg.harmonics)
+            .map(|h| cfg.switching_freq_hz * h as f64 - center_freq)
+            .filter(|f| f.abs() < sample_rate / 2.0)
+            .map(|f| frequency_bin(f, n, sample_rate))
+            .collect();
+        Ok(StreamingDetector {
+            plan: FftPlan::new(n),
+            win: Window::Hann.coefficients(n),
+            band_bins,
+            window: Vec::with_capacity(n),
+            buf: vec![Complex::ZERO; n],
+            energies: Vec::new(),
+            seen: 0,
+            non_finite: 0,
+            detector,
+            sample_rate,
+            finished: false,
+        })
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &DetectorConfig {
+        self.detector.config()
+    }
+
+    /// Raw samples consumed so far.
+    pub fn samples_seen(&self) -> usize {
+        self.seen
+    }
+
+    /// Non-finite raw samples observed so far.
+    pub fn non_finite_samples(&self) -> usize {
+        self.non_finite
+    }
+
+    /// Completed STFT windows so far.
+    pub fn windows(&self) -> usize {
+        self.energies.len()
+    }
+
+    /// Feeds a chunk of raw I/Q samples.
+    ///
+    /// Every window completed by this chunk is transformed immediately,
+    /// so per-push work is bounded by the chunk size (plus one window
+    /// of carry-over).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after [`StreamingDetector::finish`].
+    pub fn push(&mut self, chunk: &[Complex]) -> DetectProgress {
+        assert!(!self.finished, "push after finish");
+        let n = self.detector.config().window_samples;
+        for &z in chunk {
+            if !(z.re.is_finite() && z.im.is_finite()) {
+                self.non_finite += 1;
+            }
+            self.window.push(z);
+            if self.window.len() == n {
+                // Same per-frame pipeline as `stft`: window, transform,
+                // then sum the selected bins' magnitudes in band order.
+                for (slot, (&s, &w)) in
+                    self.buf.iter_mut().zip(self.window.iter().zip(self.win.iter()))
+                {
+                    *slot = s.scale(w);
+                }
+                self.plan.forward(&mut self.buf);
+                let energy: f64 = self.band_bins.iter().map(|&k| self.buf[k].abs()).sum();
+                self.energies.push(energy);
+                self.window.clear();
+            }
+        }
+        self.seen += chunk.len();
+        DetectProgress {
+            windows: self.energies.len(),
+            samples_seen: self.seen,
+            non_finite_samples: self.non_finite,
+        }
+    }
+
+    /// Classifies the stream and runs the global threshold/grouping
+    /// pass, exactly as the batch [`Detector::try_detect`] would over
+    /// the concatenation of every pushed chunk.
+    ///
+    /// # Errors
+    ///
+    /// [`DetectError::Capture`] with the batch precedence: empty
+    /// stream, stream shorter than one window, majority-non-finite
+    /// stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called twice.
+    pub fn finish(&mut self) -> Result<DetectionReport, DetectError> {
+        assert!(!self.finished, "finish called twice");
+        self.finished = true;
+        let needed = self.detector.config().window_samples;
+        if self.seen == 0 {
+            return Err(DetectError::Capture(CaptureError::Empty));
+        }
+        if self.seen < needed {
+            return Err(DetectError::Capture(CaptureError::TooShort { needed, got: self.seen }));
+        }
+        if self.non_finite * 2 > self.seen {
+            return Err(DetectError::Capture(CaptureError::NonFinite {
+                count: self.non_finite,
+                total: self.seen,
+            }));
+        }
+        let mut window_energy = std::mem::take(&mut self.energies);
+        for e in &mut window_energy {
+            if !e.is_finite() {
+                *e = 0.0;
+            }
+        }
+        let window_s = needed as f64 / self.sample_rate;
+        Ok(self.detector.detect_from_energies(window_energy, window_s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emsc_sdr::Capture;
+
+    fn capture_with_bursts(bursts: &[(f64, f64)], duration_s: f64) -> Capture {
+        let fs = 2.4e6_f64;
+        let f_bb = -485e3;
+        let n = (duration_s * fs) as usize;
+        let mut samples = vec![Complex::ZERO; n];
+        let mut state = 77u64;
+        for s in samples.iter_mut() {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let u = (state % 10_000) as f64 / 10_000.0 - 0.5;
+            *s = Complex::new(0.02 * u, 0.02 * u);
+        }
+        for &(t0, dur) in bursts {
+            let a = (t0 * fs) as usize;
+            let b = (((t0 + dur) * fs) as usize).min(n);
+            for (i, s) in samples.iter_mut().enumerate().take(b).skip(a) {
+                *s += Complex::from_polar(1.0, 2.0 * std::f64::consts::PI * f_bb * i as f64 / fs);
+            }
+        }
+        Capture { samples, sample_rate: fs, center_freq: 1.455e6 }
+    }
+
+    fn streaming(cap: &Capture, chunk: usize) -> StreamingDetector {
+        let mut det =
+            StreamingDetector::new(DetectorConfig::new(970e3), cap.sample_rate, cap.center_freq)
+                .expect("valid config");
+        for c in cap.samples.chunks(chunk.max(1)) {
+            det.push(c);
+        }
+        det
+    }
+
+    #[test]
+    fn streaming_is_bit_identical_to_batch_at_every_chunk_size() {
+        let cap = capture_with_bursts(&[(0.1, 0.05), (0.3, 0.06)], 0.5);
+        let batch =
+            Detector::new(DetectorConfig::new(970e3)).try_detect(&cap).expect("batch detects");
+        for chunk in [1usize, 7, 8192, 10_000, usize::MAX] {
+            let report = streaming(&cap, chunk).finish().expect("streaming detects");
+            assert_eq!(report, batch, "chunk size {chunk}");
+        }
+    }
+
+    #[test]
+    fn nan_laced_stream_matches_batch() {
+        let mut cap = capture_with_bursts(&[(0.1, 0.05)], 0.3);
+        for i in 0..50 {
+            cap.samples[500_000 + i] = Complex::new(f64::NAN, 0.0);
+        }
+        let batch =
+            Detector::new(DetectorConfig::new(970e3)).try_detect(&cap).expect("minority NaN ok");
+        let report = streaming(&cap, 997).finish().expect("streaming detects");
+        assert_eq!(report, batch);
+    }
+
+    #[test]
+    fn typed_errors_match_batch_precedence() {
+        let cfg = DetectorConfig::new(970e3);
+        // Construction-time classification.
+        let bad = DetectorConfig { window_samples: 12_000, ..cfg.clone() };
+        assert!(matches!(
+            StreamingDetector::new(bad, 2.4e6, 0.0),
+            Err(DetectError::InvalidConfig(_))
+        ));
+        assert_eq!(
+            StreamingDetector::new(cfg.clone(), 0.0, 0.0).err(),
+            Some(DetectError::Capture(CaptureError::InvalidSampleRate))
+        );
+        // Stream-content classification at finish.
+        let mut det = StreamingDetector::new(cfg.clone(), 2.4e6, 1.455e6).unwrap();
+        assert_eq!(det.finish(), Err(DetectError::Capture(CaptureError::Empty)));
+        let mut det = StreamingDetector::new(cfg.clone(), 2.4e6, 1.455e6).unwrap();
+        det.push(&[Complex::ZERO; 100]);
+        assert_eq!(
+            det.finish(),
+            Err(DetectError::Capture(CaptureError::TooShort { needed: 8192, got: 100 }))
+        );
+        let mut det = StreamingDetector::new(cfg, 2.4e6, 1.455e6).unwrap();
+        det.push(&vec![Complex::new(f64::NAN, f64::NAN); 20_000]);
+        assert_eq!(
+            det.finish(),
+            Err(DetectError::Capture(CaptureError::NonFinite { count: 20_000, total: 20_000 }))
+        );
+    }
+
+    #[test]
+    fn progress_counters_track_the_stream() {
+        let cfg = DetectorConfig::new(970e3);
+        let mut det = StreamingDetector::new(cfg, 2.4e6, 1.455e6).unwrap();
+        let p = det.push(&[Complex::ZERO; 8191]);
+        assert_eq!(p, DetectProgress { windows: 0, samples_seen: 8191, non_finite_samples: 0 });
+        let p = det.push(&[Complex::new(f64::INFINITY, 0.0)]);
+        assert_eq!(p, DetectProgress { windows: 1, samples_seen: 8192, non_finite_samples: 1 });
+        assert_eq!(det.windows(), 1);
+    }
+}

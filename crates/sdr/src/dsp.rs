@@ -134,10 +134,11 @@ pub fn find_peaks(signal: &[f64], min_height: f64, min_distance: usize) -> Vec<P
     }
     // Greedy suppression: keep taller peaks, drop neighbours within
     // min_distance of an already-kept peak.
+    // `total_cmp` keeps the sort total even if a non-finite value ever
+    // slips through the threshold test (NaN can't — `NaN >= h` is
+    // false — but +inf can), matching the panic-free policy.
     let mut by_height: Vec<usize> = (0..candidates.len()).collect();
-    by_height.sort_by(|&a, &b| {
-        candidates[b].value.partial_cmp(&candidates[a].value).unwrap_or(std::cmp::Ordering::Equal)
-    });
+    by_height.sort_by(|&a, &b| candidates[b].value.total_cmp(&candidates[a].value));
     let mut keep = vec![true; candidates.len()];
     for &i in &by_height {
         if !keep[i] {
@@ -249,11 +250,21 @@ mod tests {
             let argmax = response
                 .iter()
                 .enumerate()
-                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .max_by(|a, b| a.1.total_cmp(b.1))
                 .map(|(i, _)| i)
                 .unwrap();
             assert_eq!(argmax, step_at, "kernel length {l}");
         }
+    }
+
+    #[test]
+    fn find_peaks_is_nan_and_inf_safe() {
+        // NaN samples can never clear the threshold; an +inf sample
+        // may, and the suppression sort must stay total either way.
+        let x = [0.0, 3.0, 0.0, f64::NAN, 0.0, f64::INFINITY, 0.0, 2.0, 0.0];
+        let peaks = find_peaks(&x, 0.5, 3);
+        assert!(peaks.iter().all(|p| !p.value.is_nan()));
+        assert!(peaks.iter().any(|p| p.index == 5));
     }
 
     #[test]

@@ -63,6 +63,7 @@ pub mod sliding;
 pub mod spectrum;
 pub mod stats;
 pub mod stft;
+pub mod stream;
 pub mod window;
 
 pub use error::{CaptureError, StatsError};

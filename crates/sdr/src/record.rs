@@ -34,6 +34,75 @@ pub fn write_rtl_u8<W: Write>(capture: &Capture, mut writer: W) -> io::Result<()
 /// memory footprint in an intermediate byte buffer.
 const READ_CHUNK: usize = 64 * 1024;
 
+/// Incremental decoder for an interleaved unsigned 8-bit I/Q stream
+/// (the `rtl_sdr` wire format), yielding bounded chunks of samples.
+///
+/// This is the resumable core of [`read_rtl_u8`]: each
+/// [`RtlChunkReader::next_chunk`] call performs (at most a few) bounded
+/// reads and appends the decoded samples, carrying an odd trailing byte
+/// across calls so I/Q pairs may straddle chunk boundaries freely. The
+/// streaming receive chain feeds these chunks straight into
+/// [`crate::stream::EnergyStream`] without ever materialising the
+/// capture.
+#[derive(Debug)]
+pub struct RtlChunkReader<R> {
+    reader: R,
+    buf: Vec<u8>,
+    /// A pair can straddle a chunk boundary: the odd byte carries over.
+    pending: Option<u8>,
+    done: bool,
+}
+
+impl<R: Read> RtlChunkReader<R> {
+    /// Wraps a byte source in a chunked I/Q decoder.
+    pub fn new(reader: R) -> Self {
+        RtlChunkReader { reader, buf: vec![0; READ_CHUNK], pending: None, done: false }
+    }
+
+    /// Decodes the next chunk of samples, appending them to `out`.
+    /// Returns the number of samples appended; `0` means end of
+    /// stream (a trailing odd byte is ignored, as in `rtl_sdr` dumps).
+    ///
+    /// # Errors
+    ///
+    /// Propagates any I/O error from the reader (`Interrupted` reads
+    /// are retried), including errors hit after earlier chunks were
+    /// already decoded.
+    pub fn next_chunk(&mut self, out: &mut Vec<Complex>) -> io::Result<usize> {
+        if self.done {
+            return Ok(0);
+        }
+        let before = out.len();
+        loop {
+            let n = match self.reader.read(&mut self.buf) {
+                Ok(0) => {
+                    self.done = true;
+                    return Ok(out.len() - before);
+                }
+                Ok(n) => n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            };
+            let mut chunk = &self.buf[..n];
+            if let Some(i) = self.pending.take() {
+                out.push(Complex::new(from_u8(i), from_u8(chunk[0])));
+                chunk = &chunk[1..];
+            }
+            for p in chunk.chunks_exact(2) {
+                out.push(Complex::new(from_u8(p[0]), from_u8(p[1])));
+            }
+            if chunk.len() % 2 == 1 {
+                self.pending = Some(chunk[chunk.len() - 1]);
+            }
+            // A one-byte read can complete zero samples; keep reading
+            // so `0` unambiguously means end of stream.
+            if out.len() > before {
+                return Ok(out.len() - before);
+            }
+        }
+    }
+}
+
 /// Reads an interleaved unsigned 8-bit I/Q stream (the `rtl_sdr` wire
 /// format) into a [`Capture`]. The caller supplies the sample rate and
 /// tuner frequency, which the raw format does not carry. A trailing
@@ -42,40 +111,17 @@ const READ_CHUNK: usize = 64 * 1024;
 /// The stream is consumed in bounded chunks — never slurped whole — so
 /// only the decoded `Vec<Complex>` itself grows with capture length,
 /// and an I/O error mid-capture (a vanished USB device, a truncated
-/// network read) surfaces as soon as the failing chunk is hit.
+/// network read) surfaces as soon as the failing chunk is hit. For
+/// incremental consumption use [`RtlChunkReader`] directly.
 ///
 /// # Errors
 ///
 /// Propagates any I/O error from the reader, including errors that
 /// occur after some samples were already decoded.
-pub fn read_rtl_u8<R: Read>(
-    mut reader: R,
-    sample_rate: f64,
-    center_freq: f64,
-) -> io::Result<Capture> {
+pub fn read_rtl_u8<R: Read>(reader: R, sample_rate: f64, center_freq: f64) -> io::Result<Capture> {
+    let mut chunks = RtlChunkReader::new(reader);
     let mut samples = Vec::new();
-    let mut buf = [0u8; READ_CHUNK];
-    // A pair can straddle a chunk boundary: carry the odd byte over.
-    let mut pending: Option<u8> = None;
-    loop {
-        let n = match reader.read(&mut buf) {
-            Ok(0) => break,
-            Ok(n) => n,
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
-            Err(e) => return Err(e),
-        };
-        let mut chunk = &buf[..n];
-        if let Some(i) = pending.take() {
-            samples.push(Complex::new(from_u8(i), from_u8(chunk[0])));
-            chunk = &chunk[1..];
-        }
-        for p in chunk.chunks_exact(2) {
-            samples.push(Complex::new(from_u8(p[0]), from_u8(p[1])));
-        }
-        if chunk.len() % 2 == 1 {
-            pending = Some(chunk[chunk.len() - 1]);
-        }
-    }
+    while chunks.next_chunk(&mut samples)? > 0 {}
     Ok(Capture { samples, sample_rate, center_freq })
 }
 

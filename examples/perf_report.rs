@@ -13,23 +13,63 @@
 //!    cache vs rebuilding the plan every call.
 //! 3. **End to end** — Table II (the biggest `reproduce` grid) with
 //!    `with_threads(1)` vs the full worker pool.
+//! 4. **Streaming** — the chunked streaming receiver vs the batch
+//!    receiver on the same capture: steady-state throughput in
+//!    Msamples/s plus per-chunk heap allocations (counted by a
+//!    wrapping global allocator).
 //!
 //! All timed paths produce bit-identical outputs (see the determinism
 //! tests in `emsc-runtime` and `emsc-emfield`), so the speedups come
 //! for free.
 
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
 use emsc_core::chain::{Chain, Setup};
 use emsc_core::covert_run::CovertScenario;
 use emsc_core::experiments::tables::{measure_channel_grid, TableScale};
 use emsc_core::laptop::Laptop;
+use emsc_covert::rx::{Receiver, RxConfig};
+use emsc_covert::stream::StreamingReceiver;
 use emsc_emfield::synth::{render_train, render_train_exact, SynthConfig, SynthMode};
 use emsc_runtime::{current_threads, with_threads};
 use emsc_sdr::fft::{fft, FftPlan};
 use emsc_sdr::frontend::DigitizeMode;
 use emsc_sdr::iq::Complex;
+use emsc_sdr::Capture;
 use emsc_vrm::train::{Pulse, SwitchingTrain};
+
+/// Allocation-counting wrapper around the system allocator, so the
+/// streaming bench can report allocations per pushed chunk. The
+/// counter only ever increments; benches read deltas.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Heap allocations so far (monotonic).
+fn allocations() -> usize {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
 
 /// Best-of-`reps` wall-clock seconds for `f`.
 fn time_best<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
@@ -60,6 +100,25 @@ fn bench_train(duration_s: f64) -> SwitchingTrain {
         })
         .collect();
     SwitchingTrain { pulses, nominal_period_s: period, duration_s }
+}
+
+/// On-off-keyed covert capture at the corpus tuning (centre tuned to
+/// the switching line, so the carrier sits at baseband DC): the
+/// streaming-bench input. Deterministic xorshift noise floor.
+fn streaming_capture(n: usize) -> Capture {
+    let bit_samples = 600; // 250 us at 2.4 Msps
+    let mut state = 0x2020_u64;
+    let samples = (0..n)
+        .map(|i| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let noise = ((state & 0xFFFF) as f64 / 65535.0 - 0.5) * 0.05;
+            let amp = if (i / bit_samples).is_multiple_of(2) { 0.5 } else { 0.02 };
+            Complex::new(amp + noise, noise)
+        })
+        .collect();
+    Capture { samples, sample_rate: 2.4e6, center_freq: 250e3 }
 }
 
 fn main() {
@@ -161,6 +220,52 @@ fn main() {
     }
     println!();
 
+    // 4. Streaming receive chain: steady-state throughput of the
+    //    chunked StreamingReceiver vs the batch receiver on the same
+    //    capture, plus heap allocations per pushed chunk once the
+    //    internal buffers have warmed up.
+    let stream_cfg = RxConfig::new(250e3, 250e-6);
+    let stream_cap = streaming_capture(1_200_000);
+    let stream_chunk = 16 * 1024;
+    let (batch_rx_s, batch_report) =
+        time_best(3, || Receiver::new(stream_cfg.clone()).receive(&stream_cap));
+    let (stream_rx_s, stream_report) = time_best(3, || {
+        let mut rx = StreamingReceiver::new(
+            stream_cfg.clone(),
+            stream_cap.sample_rate,
+            stream_cap.center_freq,
+        )
+        .expect("bench config is valid");
+        for c in stream_cap.samples.chunks(stream_chunk) {
+            rx.push(c);
+        }
+        rx.finish()
+    });
+    let stream_msps = stream_cap.samples.len() as f64 / stream_rx_s / 1e6;
+    let stream_identical = stream_report == batch_report;
+
+    // Steady-state allocation count: the first half of the chunks
+    // warms the grow-only buffers, the second half is measured.
+    let mut warm_rx =
+        StreamingReceiver::new(stream_cfg.clone(), stream_cap.sample_rate, stream_cap.center_freq)
+            .expect("bench config is valid");
+    let chunks: Vec<&[Complex]> = stream_cap.samples.chunks(stream_chunk).collect();
+    let warm = chunks.len() / 2;
+    for c in &chunks[..warm] {
+        warm_rx.push(c);
+    }
+    let alloc_before = allocations();
+    for c in &chunks[warm..] {
+        warm_rx.push(c);
+    }
+    let allocs_per_chunk = (allocations() - alloc_before) as f64 / (chunks.len() - warm) as f64;
+
+    println!("streaming ({} samples, {stream_chunk}-sample chunks):", stream_cap.samples.len());
+    println!("  batch receive        {batch_rx_s:>9.4} s");
+    println!("  streamed receive     {stream_rx_s:>9.4} s   ({stream_msps:.1} Msamples/s)");
+    println!("  allocs per chunk     {allocs_per_chunk:>9.2}   (steady state)");
+    println!("  report bit-identical {stream_identical}\n");
+
     let json = format!(
         concat!(
             "{{\n",
@@ -180,6 +285,15 @@ fn main() {
             "    \"uncached_s\": {:.6},\n",
             "    \"cached_s\": {:.6},\n",
             "    \"speedup\": {:.3}\n",
+            "  }},\n",
+            "  \"streaming\": {{\n",
+            "    \"samples\": {},\n",
+            "    \"chunk_samples\": {},\n",
+            "    \"batch_s\": {:.6},\n",
+            "    \"stream_s\": {:.6},\n",
+            "    \"msamples_per_s\": {:.3},\n",
+            "    \"allocs_per_chunk\": {:.2},\n",
+            "    \"report_bit_identical\": {}\n",
             "  }},\n",
             "  \"end_to_end\": {{\n",
             "    \"experiment\": \"table2\",\n",
@@ -206,6 +320,13 @@ fn main() {
         uncached_s,
         cached_s,
         fft_speedup,
+        stream_cap.samples.len(),
+        stream_chunk,
+        batch_rx_s,
+        stream_rx_s,
+        stream_msps,
+        allocs_per_chunk,
+        stream_identical,
         6 * scale.runs,
         legacy_s,
         serial_s,

@@ -7,7 +7,7 @@
 //!
 //! Artefact names: fig2, bios, fig4, fig5, fig6, fig7, fig8, table1,
 //! table2, background, fig9, table3, fig10, fig11, table4, extensions,
-//! impairments.
+//! impairments, streaming.
 //!
 //! Independent artefacts fan out across the `emsc-runtime` worker
 //! pool (the big grids — Table II, Table III, the background stress —
@@ -22,6 +22,7 @@ use emsc_core::experiments::covert_figs;
 use emsc_core::experiments::impairments::{impairment_sweep, render_impairment_rows};
 use emsc_core::experiments::keylog_table::{render_table4, table4, KeylogScale};
 use emsc_core::experiments::spectral::{fig11, fig2, fig2_bios, render_bios, Scale};
+use emsc_core::experiments::streaming::{render_streaming_rows, streaming_sessions};
 use emsc_core::experiments::tables::{
     fig10_nlos, fig9, render_channel_rows, render_fig9, table1, table2, table2_background, table3,
     TableScale,
@@ -140,6 +141,12 @@ fn main() {
         artefacts.push((
             "impairments",
             Box::new(move || render_impairment_rows(&impairment_sweep(TableScale::paper(), seed))),
+        ));
+    }
+    if want("streaming") {
+        artefacts.push((
+            "streaming",
+            Box::new(move || render_streaming_rows(&streaming_sessions(seed))),
         ));
     }
     if want("extensions") {

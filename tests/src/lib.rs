@@ -1,1 +1,76 @@
-//! Placeholder library target; the integration tests live in `tests/tests/`.
+//! Shared fixtures for the cross-crate integration tests.
+//!
+//! The torture corpus — every degenerate capture a real deployment can
+//! produce — lives here so the panic-safety suite (`torture.rs`) and
+//! the streaming/batch equivalence suite (`streaming.rs`) exercise the
+//! *same* inputs: any capture the batch chain must survive, the
+//! streaming chain must survive too, with bit-identical output.
+
+use emsc_sdr::{Capture, Complex};
+
+/// Sample rate shared by every corpus capture, hertz.
+pub const FS: f64 = 2.4e6;
+/// VRM switching frequency the corpus receivers are tuned to, hertz.
+pub const F_SW: f64 = 250e3;
+
+/// Wraps samples in a [`Capture`] at the corpus tuning ([`FS`]/[`F_SW`]).
+pub fn capture(samples: Vec<Complex>) -> Capture {
+    Capture { samples, sample_rate: FS, center_freq: F_SW }
+}
+
+/// A deterministic xorshift so the corpus needs no RNG plumbing.
+pub fn noise(n: usize, mut state: u64) -> Vec<Complex> {
+    (0..n)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let re = ((state & 0xFFFF) as f64 / 65535.0) - 0.5;
+            let im = (((state >> 16) & 0xFFFF) as f64 / 65535.0) - 0.5;
+            Complex::new(re, im)
+        })
+        .collect()
+}
+
+/// An on-off-keyed tone at the VRM line: structurally a transmission,
+/// so truncating it mid-"frame" exercises the decode tail.
+pub fn ook_tone(n: usize, bit_samples: usize) -> Vec<Complex> {
+    (0..n)
+        .map(|i| {
+            let on = (i / bit_samples).is_multiple_of(2);
+            let amp = if on { 0.5 } else { 0.02 };
+            // Carrier at baseband 0 Hz (center_freq == f_sw).
+            Complex::new(amp, 0.0) + noise(1, i as u64 + 1)[0].scale(0.05)
+        })
+        .collect()
+}
+
+/// The torture corpus: label plus capture. Degenerate sample rates get
+/// their own entries in the torture suite (they need different
+/// [`Capture`] fields).
+pub fn corpus() -> Vec<(&'static str, Capture)> {
+    let mut nan_laced = ook_tone(60_000, 600);
+    for i in (0..nan_laced.len()).step_by(97) {
+        nan_laced[i] = Complex::new(f64::NAN, f64::INFINITY);
+    }
+    let all_nan = vec![Complex::new(f64::NAN, f64::NAN); 20_000];
+    let clipped: Vec<Complex> = ook_tone(60_000, 600)
+        .into_iter()
+        .map(|s| Complex::new(s.re.clamp(-0.03, 0.03), s.im.clamp(-0.03, 0.03)))
+        .collect();
+    let mut truncated = ook_tone(120_000, 600);
+    truncated.truncate(truncated.len() / 3 + 17);
+
+    vec![
+        ("empty", capture(Vec::new())),
+        ("one-sample", capture(vec![Complex::new(0.1, 0.0)])),
+        ("shorter-than-window", capture(noise(100, 5))),
+        ("dc-only", capture(vec![Complex::new(0.3, 0.0); 50_000])),
+        ("silence", capture(vec![Complex::new(0.0, 0.0); 50_000])),
+        ("pure-noise", capture(noise(50_000, 42))),
+        ("nan-laced", capture(nan_laced)),
+        ("all-nan", capture(all_nan)),
+        ("hard-clipped", capture(clipped)),
+        ("truncated-mid-frame", capture(truncated)),
+    ]
+}

@@ -1,0 +1,145 @@
+//! Streaming/batch equivalence over the torture corpus.
+//!
+//! The streaming receive chain's contract is *bit-identity*: for any
+//! capture the batch pipeline accepts (or rejects with a typed error),
+//! feeding the same samples through the streaming state machines in
+//! chunks of ANY size must produce the exact same report — same bits,
+//! same floating-point intermediates, same typed error. This suite
+//! pins that contract over every torture-corpus capture at chunk
+//! sizes 1, 7, 64 KiB and whole-capture, for the informed receiver,
+//! the blind receiver and the keystroke detector.
+
+use emsc_covert::rx::{Receiver, RxConfig, RxError, RxReport};
+use emsc_covert::stream::StreamingReceiver;
+use emsc_keylog::detect::{DetectError, DetectionReport, Detector, DetectorConfig};
+use emsc_keylog::stream::StreamingDetector;
+use emsc_sdr::Capture;
+use emsc_tests::{corpus, noise, FS, F_SW};
+
+/// Chunk sizes every capture is replayed at (`usize::MAX` = whole).
+const CHUNKINGS: [usize; 4] = [1, 7, 64 * 1024, usize::MAX];
+
+fn rx_config() -> RxConfig {
+    RxConfig::new(F_SW, 250e-6)
+}
+
+fn stream_receive(cap: &Capture, chunk: usize, blind: bool) -> Result<RxReport, RxError> {
+    let mut rx = if blind {
+        StreamingReceiver::new_blind(rx_config(), cap.sample_rate, cap.center_freq)?
+    } else {
+        StreamingReceiver::new(rx_config(), cap.sample_rate, cap.center_freq)?
+    };
+    for c in cap.samples.chunks(chunk.max(1)) {
+        rx.push(c);
+    }
+    rx.finish()
+}
+
+fn stream_detect(cap: &Capture, chunk: usize) -> Result<DetectionReport, DetectError> {
+    let mut det =
+        StreamingDetector::new(DetectorConfig::new(F_SW), cap.sample_rate, cap.center_freq)?;
+    for c in cap.samples.chunks(chunk.max(1)) {
+        det.push(c);
+    }
+    det.finish()
+}
+
+#[test]
+fn informed_receiver_is_bit_identical_to_batch_on_the_corpus() {
+    let batch_rx = Receiver::new(rx_config());
+    for (label, cap) in corpus() {
+        let batch = batch_rx.receive(&cap);
+        for chunk in CHUNKINGS {
+            let streamed = stream_receive(&cap, chunk, false);
+            assert_eq!(streamed, batch, "{label} diverged at chunk size {chunk}");
+        }
+    }
+}
+
+#[test]
+fn blind_receiver_is_bit_identical_to_batch_on_the_corpus() {
+    let batch_rx = Receiver::new(rx_config());
+    for (label, cap) in corpus() {
+        let batch = batch_rx.receive_blind(&cap);
+        for chunk in CHUNKINGS {
+            let streamed = stream_receive(&cap, chunk, true);
+            assert_eq!(streamed, batch, "{label} (blind) diverged at chunk size {chunk}");
+        }
+    }
+}
+
+#[test]
+fn keylog_detector_is_bit_identical_to_batch_on_the_corpus() {
+    let batch_det = Detector::new(DetectorConfig::new(F_SW));
+    for (label, cap) in corpus() {
+        let batch = batch_det.try_detect(&cap);
+        for chunk in CHUNKINGS {
+            let streamed = stream_detect(&cap, chunk);
+            assert_eq!(streamed, batch, "{label} (keylog) diverged at chunk size {chunk}");
+        }
+    }
+}
+
+#[test]
+fn degenerate_sample_rates_error_identically() {
+    for rate in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+        let cap = Capture { samples: noise(10_000, 3), sample_rate: rate, center_freq: F_SW };
+        let batch = Receiver::new(rx_config()).receive(&cap);
+        let streamed = StreamingReceiver::new(rx_config(), cap.sample_rate, cap.center_freq)
+            .and_then(|mut rx| {
+                rx.push(&cap.samples);
+                rx.finish()
+            });
+        assert_eq!(streamed, batch, "sample rate {rate}");
+        assert!(
+            StreamingDetector::new(DetectorConfig::new(F_SW), rate, F_SW).is_err(),
+            "keylog sample rate {rate} must be rejected at construction"
+        );
+    }
+    // Off-band tuning is NoCarrier in both paths (at construction for
+    // the streaming receiver, at receive for batch).
+    let off = Capture { samples: noise(10_000, 3), sample_rate: FS, center_freq: 1e9 };
+    assert_eq!(Receiver::new(rx_config()).receive(&off), Err(RxError::NoCarrier));
+    assert!(matches!(
+        StreamingReceiver::new(rx_config(), off.sample_rate, off.center_freq),
+        Err(RxError::NoCarrier)
+    ));
+}
+
+#[test]
+fn streaming_survives_single_sample_pushes_interleaved_with_bulk() {
+    // Mixed chunk sizes within ONE stream: state carry-over must not
+    // depend on a uniform chunking.
+    for (label, cap) in corpus() {
+        let batch = Receiver::new(rx_config()).receive(&cap);
+        let streamed = StreamingReceiver::new(rx_config(), cap.sample_rate, cap.center_freq)
+            .and_then(|mut rx| {
+                let mut i = 0usize;
+                let mut step = 1usize;
+                while i < cap.samples.len() {
+                    let end = (i + step).min(cap.samples.len());
+                    rx.push(&cap.samples[i..end]);
+                    i = end;
+                    step = (step * 3 + 1) % 4096 + 1;
+                }
+                rx.finish()
+            });
+        assert_eq!(streamed, batch, "{label} diverged under mixed chunking");
+    }
+}
+
+#[test]
+fn empty_pushes_are_no_ops() {
+    let (label, cap) = corpus().into_iter().find(|(l, _)| *l == "truncated-mid-frame").unwrap();
+    let batch = Receiver::new(rx_config()).receive(&cap);
+    let streamed =
+        StreamingReceiver::new(rx_config(), cap.sample_rate, cap.center_freq).and_then(|mut rx| {
+            rx.push(&[]);
+            for c in cap.samples.chunks(777) {
+                rx.push(c);
+                rx.push(&[]);
+            }
+            rx.finish()
+        });
+    assert_eq!(streamed, batch, "{label} diverged with empty pushes");
+}

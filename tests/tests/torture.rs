@@ -17,69 +17,7 @@ use emsc_sdr::impair::{apply_all, Impairment};
 use emsc_sdr::record::read_rtl_u8;
 use emsc_sdr::stats::{try_mean, try_median, try_quantile, Histogram, RayleighFit};
 use emsc_sdr::{Capture, Complex};
-
-const FS: f64 = 2.4e6;
-const F_SW: f64 = 250e3;
-
-fn capture(samples: Vec<Complex>) -> Capture {
-    Capture { samples, sample_rate: FS, center_freq: F_SW }
-}
-
-/// A deterministic xorshift so the corpus needs no RNG plumbing.
-fn noise(n: usize, mut state: u64) -> Vec<Complex> {
-    (0..n)
-        .map(|_| {
-            state ^= state << 13;
-            state ^= state >> 7;
-            state ^= state << 17;
-            let re = ((state & 0xFFFF) as f64 / 65535.0) - 0.5;
-            let im = (((state >> 16) & 0xFFFF) as f64 / 65535.0) - 0.5;
-            Complex::new(re, im)
-        })
-        .collect()
-}
-
-/// An on-off-keyed tone at the VRM line: structurally a transmission,
-/// so truncating it mid-"frame" exercises the decode tail.
-fn ook_tone(n: usize, bit_samples: usize) -> Vec<Complex> {
-    (0..n)
-        .map(|i| {
-            let on = (i / bit_samples).is_multiple_of(2);
-            let amp = if on { 0.5 } else { 0.02 };
-            // Carrier at baseband 0 Hz (center_freq == f_sw).
-            Complex::new(amp, 0.0) + noise(1, i as u64 + 1)[0].scale(0.05)
-        })
-        .collect()
-}
-
-/// The corpus: label plus capture. Degenerate sample rates get their
-/// own entries below (they need different `Capture` fields).
-fn corpus() -> Vec<(&'static str, Capture)> {
-    let mut nan_laced = ook_tone(60_000, 600);
-    for i in (0..nan_laced.len()).step_by(97) {
-        nan_laced[i] = Complex::new(f64::NAN, f64::INFINITY);
-    }
-    let all_nan = vec![Complex::new(f64::NAN, f64::NAN); 20_000];
-    let clipped: Vec<Complex> = ook_tone(60_000, 600)
-        .into_iter()
-        .map(|s| Complex::new(s.re.clamp(-0.03, 0.03), s.im.clamp(-0.03, 0.03)))
-        .collect();
-    let mut truncated = ook_tone(120_000, 600);
-    truncated.truncate(truncated.len() / 3 + 17);
-
-    vec![
-        ("empty", capture(Vec::new())),
-        ("one-sample", capture(vec![Complex::new(0.1, 0.0)])),
-        ("shorter-than-window", capture(noise(100, 5))),
-        ("dc-only", capture(vec![Complex::new(0.3, 0.0); 50_000])),
-        ("silence", capture(vec![Complex::new(0.0, 0.0); 50_000])),
-        ("pure-noise", capture(noise(50_000, 42))),
-        ("nan-laced", capture(nan_laced)),
-        ("all-nan", capture(all_nan)),
-        ("hard-clipped", capture(clipped)),
-        ("truncated-mid-frame", capture(truncated)),
-    ]
-}
+use emsc_tests::{capture, corpus, noise, FS, F_SW};
 
 fn receiver() -> Receiver {
     Receiver::new(RxConfig::new(F_SW, 250e-6))
