@@ -212,6 +212,27 @@ mod tests {
     }
 
     #[test]
+    fn severity_zero_is_bit_identical_to_the_unimpaired_run() {
+        // The clean row of the E3 sweep must be *exactly* the
+        // unimpaired scenario — same capture bits, same decode — for
+        // any impair seed, because severity 0 is the empty stack.
+        let laptop = Laptop::dell_inspiron();
+        let chain = Chain::new(&laptop, Setup::NearField);
+        let scenario = CovertScenario::for_laptop(&laptop, chain);
+        let clean = scenario.run(b"severity-zero", 31);
+        let impaired = scenario.run_impaired(b"severity-zero", 31, &impairments_at(0), 0xABCD);
+        assert!(clean
+            .chain_run
+            .capture
+            .samples
+            .iter()
+            .zip(&impaired.chain_run.capture.samples)
+            .all(|(a, b)| a.re.to_bits() == b.re.to_bits() && a.im.to_bits() == b.im.to_bits()));
+        assert_eq!(clean.report.bits, impaired.report.bits);
+        assert_eq!(clean.rx_error, impaired.rx_error);
+    }
+
+    #[test]
     fn sweep_degrades_with_severity_and_never_panics() {
         let rows = impairment_sweep(TableScale::quick(), 77);
         assert_eq!(rows.len(), SEVERITIES);

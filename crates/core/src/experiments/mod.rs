@@ -26,6 +26,7 @@
 //! | E1/E2 (extensions: fingerprinting, timing) | [`extensions`] |
 //! | E3 (BER vs. channel impairments) | [`impairments::impairment_sweep`] |
 //! | E4 (multi-tenant streaming vs. batch) | [`streaming::streaming_sessions`] |
+//! | E5 (supervised capture-daemon soak) | `emsc_service::soak` (service crate) |
 
 pub mod covert_figs;
 pub mod extensions;

@@ -73,7 +73,9 @@ enum Sensor {
 
 /// Synthetic keylogging capture: two keystroke-like tone bursts over
 /// a noise floor (the detect-stage shape, without the full chain).
-fn keylog_capture(seed: u64) -> (DetectorConfig, Capture) {
+/// Shared with the E5 service soak, which supervises the same sensor
+/// shape under fault injection.
+pub fn keylog_capture(seed: u64) -> (DetectorConfig, Capture) {
     let fs = 2.4e6_f64;
     let center = 1.455e6;
     let f_sw = 970e3;

@@ -92,6 +92,13 @@ pub struct SessionStats {
     pub samples_processed: usize,
     /// Samples currently buffered (accepted, not yet pumped).
     pub buffered: usize,
+    /// Typed stream errors this session has surfaced (today a stream
+    /// can fail at most once, at finish; the counter stays cumulative
+    /// so callers aggregating rotated sessions can just add stats).
+    pub stream_errors: usize,
+    /// Kind label of the most recent stream error, e.g.
+    /// `"rx-sync-lost"` (see [`SessionOutput::error_kind`]).
+    pub last_error: Option<&'static str>,
 }
 
 /// Final product of a finished session.
@@ -103,6 +110,46 @@ pub enum SessionOutput {
     /// A keylogging stream: the detection report, or why the stream
     /// was unusable.
     Keylog(Result<DetectionReport, DetectError>),
+}
+
+impl SessionOutput {
+    /// Whether the stream ended in a typed error.
+    pub fn is_err(&self) -> bool {
+        matches!(self, SessionOutput::Covert(Err(_)) | SessionOutput::Keylog(Err(_)))
+    }
+
+    /// Whether the stream's error (if any) is worth a restart:
+    /// delegates to [`RxError::is_retryable`] /
+    /// [`DetectError::is_retryable`]. A successful stream returns
+    /// `false` — there is nothing to retry.
+    pub fn is_retryable_err(&self) -> bool {
+        match self {
+            SessionOutput::Covert(Err(e)) => e.is_retryable(),
+            SessionOutput::Keylog(Err(e)) => e.is_retryable(),
+            _ => false,
+        }
+    }
+
+    /// Short static label of the stream's error kind, if it failed —
+    /// the value recorded in [`SessionStats::last_error`] and coarse
+    /// enough to aggregate across sessions (`"rx-capture"`,
+    /// `"rx-no-carrier"`, `"rx-sync-lost"`, `"rx-config"`,
+    /// `"keylog-capture"`, `"keylog-config"`).
+    pub fn error_kind(&self) -> Option<&'static str> {
+        match self {
+            SessionOutput::Covert(Err(e)) => Some(match e {
+                RxError::InvalidConfig(_) => "rx-config",
+                RxError::Capture(_) => "rx-capture",
+                RxError::NoCarrier => "rx-no-carrier",
+                RxError::SyncLost(_) => "rx-sync-lost",
+            }),
+            SessionOutput::Keylog(Err(e)) => Some(match e {
+                DetectError::InvalidConfig(_) => "keylog-config",
+                DetectError::Capture(_) => "keylog-capture",
+            }),
+            _ => None,
+        }
+    }
 }
 
 /// A finished session: its output plus the final counters.
@@ -326,7 +373,29 @@ impl SessionRegistry {
             slot.stats.buffered = 0;
         }
         let output = slot.machine.finish();
+        if let Some(kind) = output.error_kind() {
+            slot.stats.stream_errors += 1;
+            slot.stats.last_error = Some(kind);
+        }
         Ok(ClosedSession { output, stats: slot.stats })
+    }
+
+    /// Abandons a session without finalising its stream: buffered
+    /// samples are discarded and the state machine is dropped where it
+    /// stands. This is the supervisor's restart/quarantine hook — a
+    /// stalled or poisoned stream's half-built acquisition state is
+    /// worthless, and running `finish` on it would waste a full decode
+    /// only to produce a report nobody trusts. Returns the counters at
+    /// abort time (with `buffered` still reflecting the discarded
+    /// backlog, so callers can account for the loss).
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::UnknownSession`] for a closed or unknown id.
+    pub fn abort(&mut self, id: SessionId) -> Result<SessionStats, SessionError> {
+        let slot = self.slots.get_mut(id.0).ok_or(SessionError::UnknownSession)?;
+        let slot = slot.take().ok_or(SessionError::UnknownSession)?;
+        Ok(slot.stats)
     }
 
     fn slot(&self, id: SessionId) -> Result<&Slot, SessionError> {
@@ -463,6 +532,53 @@ mod tests {
         assert_eq!(reg.stats(a).unwrap().seed, seed_for(2020, 0));
         assert_eq!(reg.stats(b).unwrap().seed, seed_for(2020, 1));
         assert_eq!(reg.session_ids(), vec![a, b]);
+    }
+
+    #[test]
+    fn failed_streams_are_counted_in_their_stats() {
+        let (scenario, capture, _) = near_field_capture();
+        let mut reg = SessionRegistry::new(7, usize::MAX);
+        let good = reg
+            .open_covert(scenario.rx.clone(), capture.sample_rate, capture.center_freq)
+            .expect("open good");
+        let bad = reg
+            .open_covert(scenario.rx.clone(), capture.sample_rate, capture.center_freq)
+            .expect("open bad");
+        reg.offer(good, &capture.samples).unwrap();
+        reg.offer(bad, &vec![Complex::new(f64::NAN, f64::NAN); 50_000]).unwrap();
+        reg.pump();
+
+        let ok = reg.finish(good).expect("finish good");
+        assert_eq!(ok.stats.stream_errors, 0);
+        assert_eq!(ok.stats.last_error, None);
+        assert!(!ok.output.is_err());
+        assert_eq!(ok.output.error_kind(), None);
+
+        let failed = reg.finish(bad).expect("finish bad");
+        assert_eq!(failed.stats.stream_errors, 1);
+        assert!(failed.output.is_err());
+        assert_eq!(failed.stats.last_error, failed.output.error_kind());
+        assert!(
+            failed.output.is_retryable_err(),
+            "an all-NaN capture is a transient device fault: {:?}",
+            failed.output
+        );
+    }
+
+    #[test]
+    fn abort_discards_a_session_without_finalising() {
+        let (scenario, capture, _) = near_field_capture();
+        let mut reg = SessionRegistry::new(7, usize::MAX);
+        let id = reg
+            .open_covert(scenario.rx.clone(), capture.sample_rate, capture.center_freq)
+            .expect("open");
+        reg.offer(id, &capture.samples[..10_000]).unwrap();
+        let stats = reg.abort(id).expect("abort");
+        assert_eq!(stats.samples_accepted, 10_000);
+        assert_eq!(stats.buffered, 10_000, "abort reports the discarded backlog");
+        assert!(reg.is_empty());
+        assert_eq!(reg.abort(id), Err(SessionError::UnknownSession), "double abort must fail");
+        assert!(reg.finish(id).is_err(), "aborted session cannot be finished");
     }
 
     #[test]

@@ -95,6 +95,25 @@ pub enum RxError {
     SyncLost(SyncLoss),
 }
 
+impl RxError {
+    /// Whether re-running the capture could plausibly clear this
+    /// error. Channel-condition failures — an unusable capture
+    /// ([`CaptureError::is_retryable`]) or lost acquisition lock
+    /// ([`RxError::SyncLost`]: the channel was silent, flat or
+    /// aperiodic *this time*) — are retryable. Configuration failures
+    /// ([`RxError::InvalidConfig`], [`RxError::NoCarrier`]: the tuner
+    /// is parked where no harmonic can ever appear) are fatal: a
+    /// supervisor should quarantine the session rather than restart
+    /// it.
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            RxError::Capture(e) => e.is_retryable(),
+            RxError::SyncLost(_) => true,
+            RxError::InvalidConfig(_) | RxError::NoCarrier => false,
+        }
+    }
+}
+
 impl std::fmt::Display for RxError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {

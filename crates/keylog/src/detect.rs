@@ -24,6 +24,20 @@ pub enum DetectError {
     Capture(CaptureError),
 }
 
+impl DetectError {
+    /// Whether re-capturing could plausibly clear this error: capture
+    /// faults follow [`CaptureError::is_retryable`] (transient device
+    /// conditions are worth a retry); configuration faults are fatal —
+    /// a supervisor should quarantine the session rather than burn its
+    /// restart budget on an invariant that can never hold.
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            DetectError::Capture(e) => e.is_retryable(),
+            DetectError::InvalidConfig(_) => false,
+        }
+    }
+}
+
 impl std::fmt::Display for DetectError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {

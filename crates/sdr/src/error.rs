@@ -37,6 +37,25 @@ pub enum CaptureError {
     InvalidConfig(&'static str),
 }
 
+impl CaptureError {
+    /// Whether a retry of the *acquisition* could plausibly clear this
+    /// error. Transient conditions — a dongle that delivered nothing
+    /// yet, a capture cut short mid-transfer, a corrupt stretch of
+    /// samples — are retryable: the same receiver pointed at the same
+    /// sensor may succeed on the next capture. Configuration errors
+    /// are fatal: no amount of re-capturing fixes a zero sample rate
+    /// or a violated config invariant, so a supervisor should
+    /// quarantine instead of burning its restart budget.
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            CaptureError::Empty
+            | CaptureError::TooShort { .. }
+            | CaptureError::NonFinite { .. } => true,
+            CaptureError::InvalidSampleRate | CaptureError::InvalidConfig(_) => false,
+        }
+    }
+}
+
 impl fmt::Display for CaptureError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -93,6 +112,15 @@ mod tests {
         assert!(s.contains('7') && s.contains("100"), "{s}");
         assert!(CaptureError::InvalidConfig("bins empty").to_string().contains("bins empty"));
         assert!(StatsError::InvalidQuantile.to_string().contains("[0, 1]"));
+    }
+
+    #[test]
+    fn retryable_split_is_transient_vs_config() {
+        assert!(CaptureError::Empty.is_retryable());
+        assert!(CaptureError::TooShort { needed: 256, got: 3 }.is_retryable());
+        assert!(CaptureError::NonFinite { count: 7, total: 10 }.is_retryable());
+        assert!(!CaptureError::InvalidSampleRate.is_retryable());
+        assert!(!CaptureError::InvalidConfig("bins empty").is_retryable());
     }
 
     #[test]

@@ -125,6 +125,32 @@ pub fn read_rtl_u8<R: Read>(reader: R, sample_rate: f64, center_freq: f64) -> io
     Ok(Capture { samples, sample_rate, center_freq })
 }
 
+/// Classifies an I/O error from a chunked capture read
+/// ([`RtlChunkReader::next_chunk`], [`read_rtl_u8`]) as retryable or
+/// fatal, so a capture supervisor can apply a principled backoff
+/// policy instead of treating every failure alike.
+///
+/// Retryable kinds are the transient, device-level failures a
+/// long-running listening post sees in practice — an unplugged dongle
+/// (`BrokenPipe`), a dropped USB/network transfer (`ConnectionReset`,
+/// `ConnectionAborted`, `UnexpectedEof`), a slow bus (`TimedOut`,
+/// `WouldBlock`, `Interrupted`): reopening the source may well
+/// succeed. Everything else — a missing or unreadable spool file, bad
+/// arguments, unsupported operations — is fatal: retrying cannot fix
+/// it, and the session should be quarantined.
+pub fn io_error_is_retryable(kind: io::ErrorKind) -> bool {
+    matches!(
+        kind,
+        io::ErrorKind::BrokenPipe
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::UnexpectedEof
+            | io::ErrorKind::TimedOut
+            | io::ErrorKind::WouldBlock
+            | io::ErrorKind::Interrupted
+    )
+}
+
 fn to_u8(v: f64) -> u8 {
     (v.clamp(-1.0, 1.0) * U8_OFFSET + U8_OFFSET).round() as u8
 }
@@ -238,5 +264,28 @@ mod tests {
     fn mid_capture_io_error_surfaces() {
         let err = read_rtl_u8(FailAfter { remaining: 10 }, 2.4e6, 1e6).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::BrokenPipe);
+        assert!(io_error_is_retryable(err.kind()), "a vanished device is worth a reconnect");
+    }
+
+    #[test]
+    fn io_retryability_splits_device_faults_from_caller_bugs() {
+        for kind in [
+            io::ErrorKind::BrokenPipe,
+            io::ErrorKind::ConnectionReset,
+            io::ErrorKind::UnexpectedEof,
+            io::ErrorKind::TimedOut,
+            io::ErrorKind::Interrupted,
+        ] {
+            assert!(io_error_is_retryable(kind), "{kind:?} should be retryable");
+        }
+        for kind in [
+            io::ErrorKind::NotFound,
+            io::ErrorKind::PermissionDenied,
+            io::ErrorKind::InvalidInput,
+            io::ErrorKind::InvalidData,
+            io::ErrorKind::Unsupported,
+        ] {
+            assert!(!io_error_is_retryable(kind), "{kind:?} should be fatal");
+        }
     }
 }

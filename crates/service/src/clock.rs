@@ -1,0 +1,85 @@
+//! Deterministic simulated clock.
+//!
+//! The supervisor never reads wall-clock time: every timeout, backoff
+//! delay and uptime figure is counted in *ticks* of this clock, which
+//! only advances when [`SimClock::advance`] is called from the
+//! supervisor's serial control loop. That makes the entire service —
+//! watchdogs, restart backoff, fault schedules — a pure function of
+//! its inputs, bit-identical across thread counts, machines and
+//! reruns, exactly like the DSP layers below it.
+//!
+//! A tick corresponds to one scheduling round of the supervisor; the
+//! configured [`SimClock::tick_duration_s`] maps tick counts onto the
+//! simulated seconds reported in uptime tables.
+
+/// Monotonic simulated time, in supervisor ticks.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimClock {
+    tick: u64,
+    tick_duration_s: f64,
+}
+
+impl SimClock {
+    /// A clock at tick 0 whose ticks each represent `tick_duration_s`
+    /// simulated seconds (non-finite or negative durations are
+    /// clamped to 0).
+    pub fn new(tick_duration_s: f64) -> Self {
+        let tick_duration_s = if tick_duration_s.is_finite() && tick_duration_s > 0.0 {
+            tick_duration_s
+        } else {
+            0.0
+        };
+        SimClock { tick: 0, tick_duration_s }
+    }
+
+    /// The current tick.
+    pub fn now(&self) -> u64 {
+        self.tick
+    }
+
+    /// Simulated seconds per tick.
+    pub fn tick_duration_s(&self) -> f64 {
+        self.tick_duration_s
+    }
+
+    /// Simulated seconds elapsed since tick 0.
+    pub fn elapsed_s(&self) -> f64 {
+        self.seconds_for(self.tick)
+    }
+
+    /// Simulated seconds spanned by `ticks` ticks.
+    pub fn seconds_for(&self, ticks: u64) -> f64 {
+        ticks as f64 * self.tick_duration_s
+    }
+
+    /// Advances time by one tick and returns the new tick.
+    pub fn advance(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ticks_advance_monotonically() {
+        let mut clock = SimClock::new(0.25);
+        assert_eq!(clock.now(), 0);
+        assert_eq!(clock.advance(), 1);
+        assert_eq!(clock.advance(), 2);
+        assert_eq!(clock.now(), 2);
+        assert!((clock.elapsed_s() - 0.5).abs() < 1e-12);
+        assert!((clock.seconds_for(8) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_tick_durations_clamp_to_zero() {
+        for bad in [f64::NAN, f64::NEG_INFINITY, -1.0] {
+            let clock = SimClock::new(bad);
+            assert_eq!(clock.tick_duration_s(), 0.0);
+            assert_eq!(clock.elapsed_s(), 0.0);
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Per-sensor robustness policies: restart backoff, watchdogs,
+//! backpressure and rotation.
+//!
+//! Everything here is counted in ticks of the supervisor's
+//! [`crate::clock::SimClock`] and derives any randomness (backoff
+//! jitter) positionally from seeds via [`emsc_runtime::seed_for`], so
+//! policy decisions replay bit-identically.
+
+use emsc_runtime::seed_for;
+
+/// What the supervisor does when a sensor's supervisor-side delivery
+/// queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackpressurePolicy {
+    /// Stop pulling from the source until the queue drains: no data is
+    /// lost, the producer is slowed instead (correctness-first — the
+    /// covert-channel decode needs every sample).
+    Reject,
+    /// Drop the oldest queued chunk to admit the newest
+    /// (freshness-first — a monitoring sensor cares about *now*, not
+    /// about a backlog it can no longer influence).
+    DropOldest,
+}
+
+/// Seeded exponential backoff for sensor restarts.
+///
+/// Restart `n` (1-based) waits `base_ticks · factor^(n-1)` ticks,
+/// capped at `cap_ticks`, plus a deterministic jitter in
+/// `[0, jitter_ticks]` derived positionally from the sensor's seed —
+/// the classic thundering-herd spreader, made replayable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RestartPolicy {
+    /// Restarts allowed before the sensor is quarantined.
+    pub max_restarts: u32,
+    /// Base delay of the first restart, ticks.
+    pub base_ticks: u64,
+    /// Multiplier applied per successive restart.
+    pub factor: u32,
+    /// Upper bound on the exponential part, ticks.
+    pub cap_ticks: u64,
+    /// Jitter range, ticks (0 disables jitter).
+    pub jitter_ticks: u64,
+}
+
+impl Default for RestartPolicy {
+    fn default() -> Self {
+        RestartPolicy { max_restarts: 3, base_ticks: 2, factor: 2, cap_ticks: 32, jitter_ticks: 3 }
+    }
+}
+
+impl RestartPolicy {
+    /// Backoff delay in ticks before restart number `restart` (1 =
+    /// first restart), jittered deterministically by `jitter_seed`.
+    pub fn backoff_ticks(&self, restart: u32, jitter_seed: u64) -> u64 {
+        let exp = self
+            .base_ticks
+            .saturating_mul((self.factor.max(1) as u64).saturating_pow(restart.saturating_sub(1)))
+            .min(self.cap_ticks);
+        let jitter = if self.jitter_ticks == 0 {
+            0
+        } else {
+            seed_for(jitter_seed, restart as u64) % (self.jitter_ticks + 1)
+        };
+        exp + jitter
+    }
+}
+
+/// The complete robustness policy of one supervised sensor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SensorPolicy {
+    /// Chunks pulled from the source per supervisor tick.
+    pub chunks_per_tick: usize,
+    /// What to do when the delivery queue is full.
+    pub backpressure: BackpressurePolicy,
+    /// Maximum chunks queued supervisor-side awaiting registry
+    /// admission.
+    pub pending_limit: usize,
+    /// Ticks without forward progress before the watchdog declares the
+    /// stream dead and triggers the restart path.
+    pub watchdog_ticks: u64,
+    /// Restart budget and backoff shape.
+    pub restart: RestartPolicy,
+    /// Consecutive majority-non-finite chunks tolerated before the
+    /// stream is declared poisoned (observed, not assumed: the
+    /// supervisor scans what it delivers, it does not peek at the
+    /// fault plan).
+    pub max_corrupt_chunks: u32,
+    /// Rotate the session (flush its final report, open a fresh one)
+    /// once it has accepted this many samples. `None` disables
+    /// rotation.
+    pub rotate_after_samples: Option<usize>,
+}
+
+impl Default for SensorPolicy {
+    fn default() -> Self {
+        SensorPolicy {
+            chunks_per_tick: 4,
+            backpressure: BackpressurePolicy::Reject,
+            pending_limit: 16,
+            watchdog_ticks: 6,
+            restart: RestartPolicy::default(),
+            max_corrupt_chunks: 2,
+            rotate_after_samples: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_exponentially_to_the_cap() {
+        let policy = RestartPolicy {
+            max_restarts: 10,
+            base_ticks: 2,
+            factor: 2,
+            cap_ticks: 16,
+            jitter_ticks: 0,
+        };
+        let delays: Vec<u64> = (1..=6).map(|n| policy.backoff_ticks(n, 0)).collect();
+        assert_eq!(delays, vec![2, 4, 8, 16, 16, 16], "exp growth then cap");
+    }
+
+    #[test]
+    fn jitter_is_bounded_and_seed_deterministic() {
+        let policy = RestartPolicy { jitter_ticks: 5, ..RestartPolicy::default() };
+        for n in 1..=4 {
+            let a = policy.backoff_ticks(n, 42);
+            let b = policy.backoff_ticks(n, 42);
+            assert_eq!(a, b, "same seed, same delay");
+            let base = RestartPolicy { jitter_ticks: 0, ..policy }.backoff_ticks(n, 42);
+            assert!((base..=base + 5).contains(&a), "jitter out of range: {a} vs base {base}");
+        }
+        // Different sensors (seeds) de-synchronise their restarts.
+        let spread: std::collections::BTreeSet<u64> =
+            (0..16).map(|s| policy.backoff_ticks(1, s)).collect();
+        assert!(spread.len() > 1, "jitter never varies across seeds");
+    }
+
+    #[test]
+    fn pathological_policies_saturate_instead_of_overflowing() {
+        let policy = RestartPolicy {
+            max_restarts: u32::MAX,
+            base_ticks: u64::MAX,
+            factor: u32::MAX,
+            cap_ticks: u64::MAX,
+            jitter_ticks: 0,
+        };
+        // Must not panic on overflow.
+        assert_eq!(policy.backoff_ticks(u32::MAX, 1), u64::MAX);
+    }
+}

@@ -1,0 +1,1083 @@
+//! The capture supervisor: a fault-tolerant daemon loop over the
+//! multi-tenant session registry.
+//!
+//! The paper's attack is operationally a *listening post*: radios
+//! parked near victims for hours, surviving AGC glitches, dropped USB
+//! transfers and sensors that come and go. [`Supervisor`] owns an
+//! [`emsc_core::session::SessionRegistry`] and adds the robustness
+//! layer the registry deliberately lacks:
+//!
+//! - **Lifecycle.** Every sensor moves through
+//!   `Running → Degraded → Restarting → Quarantined/Done`
+//!   ([`LifecycleState`]): transient faults mark it degraded, stream
+//!   deaths trigger the restart path, and exhausted restart budgets
+//!   (or fatal errors, per the typed retryable/fatal split) end in
+//!   quarantine — one bad radio never takes the daemon down.
+//! - **Watchdog.** A sensor that makes no forward progress for
+//!   [`SensorPolicy::watchdog_ticks`] is declared dead and restarted.
+//! - **Backoff.** Restarts wait out a seeded exponential backoff with
+//!   deterministic jitter ([`RestartPolicy::backoff_ticks`]).
+//! - **Backpressure.** Chunks the registry rejects queue in a bounded
+//!   per-sensor buffer governed by [`BackpressurePolicy`]: reject
+//!   (slow the producer, lose nothing) or drop-oldest (stay fresh).
+//! - **Rotation and drain.** Sessions can rotate on a sample budget
+//!   (final report flushed, fresh session opened mid-stream), and
+//!   [`Supervisor::shutdown`] drains every queue and finalises every
+//!   stream before the daemon exits.
+//!
+//! The whole loop runs on a [`SimClock`] and injects faults only from
+//! an explicit [`FaultPlan`], so a soak run — restarts, jitter,
+//! quarantines and all — replays bit-identically at any
+//! `EMSC_THREADS` setting: the only parallelism is the registry's
+//! `pump`, which is itself deterministic.
+
+use std::collections::VecDeque;
+
+use emsc_core::session::{ClosedSession, SessionId, SessionOutput, SessionRegistry};
+use emsc_covert::rx::RxConfig;
+use emsc_keylog::detect::DetectorConfig;
+use emsc_runtime::seed_for;
+use emsc_sdr::iq::Complex;
+
+use crate::clock::SimClock;
+use crate::fault::{Fault, FaultPlan};
+use crate::policy::{BackpressurePolicy, SensorPolicy};
+use crate::source::SensorSource;
+
+/// Clean ticks a degraded sensor must string together before it is
+/// considered healthy again.
+const DEGRADED_RECOVERY_TICKS: u64 = 3;
+
+/// Which streaming state machine a sensor feeds.
+#[derive(Debug, Clone)]
+pub enum SensorKind {
+    /// Informed covert-channel receiver.
+    Covert(RxConfig),
+    /// Blind covert-channel receiver (bit period estimated at finish).
+    BlindCovert(RxConfig),
+    /// Keylogging burst detector.
+    Keylog(DetectorConfig),
+}
+
+/// One sensor's specification at admission time.
+pub struct SensorSpec {
+    /// Display label.
+    pub label: String,
+    /// Receiver type and configuration.
+    pub kind: SensorKind,
+    /// Where the IQ comes from.
+    pub source: Box<dyn SensorSource>,
+    /// Robustness policy.
+    pub policy: SensorPolicy,
+}
+
+/// Where a sensor is in its supervision lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LifecycleState {
+    /// Healthy and streaming.
+    Running,
+    /// Streaming, but a recent fault was observed; recovers to
+    /// [`LifecycleState::Running`] after a few clean ticks.
+    Degraded,
+    /// Stream declared dead; waiting out the restart backoff until
+    /// `resume_tick`.
+    Restarting {
+        /// Tick at which the restart fires.
+        resume_tick: u64,
+    },
+    /// Permanently isolated: fatal error or restart budget exhausted.
+    Quarantined,
+    /// Source exhausted and final report flushed.
+    Done,
+}
+
+impl LifecycleState {
+    /// Whether the sensor needs no further supervision.
+    pub fn is_terminal(&self) -> bool {
+        matches!(self, LifecycleState::Quarantined | LifecycleState::Done)
+    }
+
+    /// Short label for tables and event logs.
+    pub fn label(&self) -> &'static str {
+        match self {
+            LifecycleState::Running => "running",
+            LifecycleState::Degraded => "degraded",
+            LifecycleState::Restarting { .. } => "restarting",
+            LifecycleState::Quarantined => "quarantined",
+            LifecycleState::Done => "done",
+        }
+    }
+}
+
+/// One line of the supervisor's event log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceEvent {
+    /// Tick at which the event occurred.
+    pub tick: u64,
+    /// Index of the sensor concerned.
+    pub sensor: usize,
+    /// What happened (`"fault injected: stall"`, `"watchdog fired"`,
+    /// `"restart 2 scheduled (resume @ 41)"`, …).
+    pub what: String,
+}
+
+/// Supervisor-level configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServiceConfig {
+    /// Base seed: per-session registry seeds and per-sensor backoff
+    /// jitter derive from it positionally.
+    pub base_seed: u64,
+    /// Per-session registry buffer limit, samples.
+    pub buffer_limit: usize,
+    /// Simulated seconds per supervisor tick (reporting only).
+    pub tick_duration_s: f64,
+    /// Hard stop for [`Supervisor::run`], ticks.
+    pub max_ticks: u64,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            base_seed: 2020,
+            buffer_limit: 1 << 16,
+            tick_duration_s: 0.1,
+            max_ticks: 100_000,
+        }
+    }
+}
+
+/// Final per-sensor accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SensorReport {
+    /// Display label.
+    pub label: String,
+    /// Lifecycle state at report time.
+    pub state: LifecycleState,
+    /// Ticks from admission until the sensor went terminal (or until
+    /// report time).
+    pub active_ticks: u64,
+    /// Ticks spent healthy ([`LifecycleState::Running`] or
+    /// [`LifecycleState::Degraded`]).
+    pub uptime_ticks: u64,
+    /// Restarts performed.
+    pub restarts: u32,
+    /// Fault events injected against this sensor.
+    pub faults_injected: usize,
+    /// Chunks lost to injected drops plus backpressure drops.
+    pub chunks_dropped: usize,
+    /// Completed sessions (rotations plus the final flush), in order.
+    pub sessions: Vec<ClosedSession>,
+    /// Sessions abandoned by the restart/quarantine path.
+    pub aborted_sessions: u32,
+    /// Samples pushed through all of this sensor's sessions.
+    pub samples_processed: usize,
+    /// Covert bits decoded across completed sessions.
+    pub decoded_bits: usize,
+    /// Keylog bursts detected across completed sessions.
+    pub bursts_detected: usize,
+    /// Kind label of the most recent stream error, if any.
+    pub last_error: Option<&'static str>,
+}
+
+/// Final product of a supervised run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceReport {
+    /// Ticks the daemon ran.
+    pub ticks: u64,
+    /// Simulated seconds the daemon ran.
+    pub elapsed_s: f64,
+    /// Per-sensor accounting, in admission order.
+    pub sensors: Vec<SensorReport>,
+    /// Chronological event log.
+    pub events: Vec<ServiceEvent>,
+}
+
+/// In-transit fault state plus delivery bookkeeping for one sensor.
+struct SensorSlot {
+    label: String,
+    kind: SensorKind,
+    source: Box<dyn SensorSource>,
+    policy: SensorPolicy,
+    session: Option<SessionId>,
+    state: LifecycleState,
+    // Fault machinery (what the plan has armed against this sensor).
+    stall_until: u64,
+    poisoned: bool,
+    corrupt_chunks: u32,
+    corrupt_frac: f64,
+    truncate_next: Option<f64>,
+    drop_next: u32,
+    reorder_request: bool,
+    reorder_held: Option<Vec<Complex>>,
+    disconnect_pending: bool,
+    corrupt_rng: u64,
+    // Delivery.
+    pending: VecDeque<Vec<Complex>>,
+    exhausted: bool,
+    session_samples: usize,
+    // Health.
+    last_progress_tick: u64,
+    clean_ticks: u64,
+    consecutive_corrupt: u32,
+    fault_seen_this_tick: bool,
+    restarts: u32,
+    jitter_seed: u64,
+    // Metrics.
+    active_ticks: u64,
+    uptime_ticks: u64,
+    faults_injected: usize,
+    chunks_dropped: usize,
+    outputs: Vec<ClosedSession>,
+    aborted_sessions: u32,
+    aborted_samples: usize,
+}
+
+impl SensorSlot {
+    fn decoded_bits(&self) -> usize {
+        self.outputs
+            .iter()
+            .map(|c| match &c.output {
+                SessionOutput::Covert(Ok(r)) => r.bits.len(),
+                _ => 0,
+            })
+            .sum()
+    }
+
+    fn bursts_detected(&self) -> usize {
+        self.outputs
+            .iter()
+            .map(|c| match &c.output {
+                SessionOutput::Keylog(Ok(r)) => r.bursts.len(),
+                _ => 0,
+            })
+            .sum()
+    }
+
+    fn last_error(&self) -> Option<&'static str> {
+        self.outputs.iter().rev().find_map(|c| c.output.error_kind())
+    }
+
+    fn samples_processed(&self) -> usize {
+        self.aborted_samples + self.outputs.iter().map(|c| c.stats.samples_processed).sum::<usize>()
+    }
+}
+
+/// The supervised, fault-tolerant capture daemon.
+pub struct Supervisor {
+    config: ServiceConfig,
+    clock: SimClock,
+    registry: SessionRegistry,
+    plan: FaultPlan,
+    sensors: Vec<SensorSlot>,
+    events: Vec<ServiceEvent>,
+}
+
+impl Supervisor {
+    /// A supervisor with no sensors yet, injecting faults from `plan`
+    /// (use [`FaultPlan::none`] for a clean run).
+    pub fn new(config: ServiceConfig, plan: FaultPlan) -> Self {
+        Supervisor {
+            clock: SimClock::new(config.tick_duration_s),
+            registry: SessionRegistry::new(config.base_seed, config.buffer_limit),
+            config,
+            plan,
+            sensors: Vec::new(),
+            events: Vec::new(),
+        }
+    }
+
+    /// Admits a sensor and opens its first session, returning its
+    /// index (the identity used by the fault plan and the report). A
+    /// sensor whose session cannot be constructed is admitted directly
+    /// into quarantine — an unopenable receiver must not sink the
+    /// daemon.
+    pub fn add_sensor(&mut self, spec: SensorSpec) -> usize {
+        let index = self.sensors.len();
+        let jitter_seed = seed_for(self.config.base_seed ^ 0x5EB0_0F5E, index as u64);
+        let corrupt_rng = seed_for(self.config.base_seed ^ 0xC0B2_0175, index as u64) | 1;
+        let mut slot = SensorSlot {
+            label: spec.label,
+            kind: spec.kind,
+            source: spec.source,
+            policy: spec.policy,
+            session: None,
+            state: LifecycleState::Running,
+            stall_until: 0,
+            poisoned: false,
+            corrupt_chunks: 0,
+            corrupt_frac: 0.0,
+            truncate_next: None,
+            drop_next: 0,
+            reorder_request: false,
+            reorder_held: None,
+            disconnect_pending: false,
+            corrupt_rng,
+            pending: VecDeque::new(),
+            exhausted: false,
+            session_samples: 0,
+            last_progress_tick: 0,
+            clean_ticks: 0,
+            consecutive_corrupt: 0,
+            fault_seen_this_tick: false,
+            restarts: 0,
+            jitter_seed,
+            active_ticks: 0,
+            uptime_ticks: 0,
+            faults_injected: 0,
+            chunks_dropped: 0,
+            outputs: Vec::new(),
+            aborted_sessions: 0,
+            aborted_samples: 0,
+        };
+        match open_session(&mut self.registry, &slot.kind, slot.source.as_ref()) {
+            Ok(id) => slot.session = Some(id),
+            Err(why) => {
+                slot.state = LifecycleState::Quarantined;
+                self.events.push(ServiceEvent {
+                    tick: self.clock.now(),
+                    sensor: index,
+                    what: format!("quarantined at admission: {why}"),
+                });
+            }
+        }
+        self.sensors.push(slot);
+        index
+    }
+
+    /// The simulated clock.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// Current lifecycle state of sensor `k`.
+    pub fn state(&self, k: usize) -> LifecycleState {
+        self.sensors[k].state
+    }
+
+    /// Whether every sensor has reached a terminal state.
+    pub fn all_terminal(&self) -> bool {
+        self.sensors.iter().all(|s| s.state.is_terminal())
+    }
+
+    /// Runs one scheduling round: injects due faults, advances every
+    /// sensor (pull → fault filter → offer → rotate/finish), then
+    /// pumps the registry across the worker pool. Returns `false` once
+    /// every sensor is terminal.
+    pub fn tick(&mut self) -> bool {
+        let now = self.clock.advance();
+        self.inject_due_faults(now);
+        for k in 0..self.sensors.len() {
+            self.step_sensor(k, now);
+        }
+        self.registry.pump();
+        !self.all_terminal()
+    }
+
+    /// Drives [`Supervisor::tick`] until every sensor is terminal or
+    /// `max_ticks` is reached, then drains, shuts down and reports.
+    pub fn run(&mut self) -> ServiceReport {
+        while self.clock.now() < self.config.max_ticks && self.tick() {}
+        self.shutdown()
+    }
+
+    /// Graceful drain-and-shutdown: stops pulling sources, flushes
+    /// every queued chunk it can, finalises every open stream (final
+    /// reports flushed) and returns the final report. Sensors still
+    /// streaming are marked [`LifecycleState::Done`]; sensors caught
+    /// mid-backoff keep their [`LifecycleState::Restarting`] state —
+    /// the daemon stopped, they did not fail.
+    pub fn shutdown(&mut self) -> ServiceReport {
+        let now = self.clock.now();
+        for k in 0..self.sensors.len() {
+            let slot = &mut self.sensors[k];
+            let Some(id) = slot.session else { continue };
+            // Drain what the registry will take; a chunk it rejects
+            // even after a pump cannot ever fit — drop it, counted.
+            while let Some(front) = slot.pending.pop_front() {
+                if self.registry.offer(id, &front).is_err() {
+                    self.registry.pump();
+                    if self.registry.offer(id, &front).is_err() {
+                        slot.chunks_dropped += 1;
+                    }
+                }
+            }
+            match self.registry.finish(id) {
+                Ok(closed) => slot.outputs.push(closed),
+                Err(_) => unreachable!("open session vanished from the registry"),
+            }
+            slot.session = None;
+            if !slot.state.is_terminal() {
+                slot.state = LifecycleState::Done;
+                self.events.push(ServiceEvent {
+                    tick: now,
+                    sensor: k,
+                    what: "drained and closed at shutdown".to_string(),
+                });
+            }
+        }
+        self.report()
+    }
+
+    /// The report as of now (sensors may still be live; [`Supervisor::run`]
+    /// and [`Supervisor::shutdown`] return the final one).
+    pub fn report(&self) -> ServiceReport {
+        ServiceReport {
+            ticks: self.clock.now(),
+            elapsed_s: self.clock.elapsed_s(),
+            sensors: self
+                .sensors
+                .iter()
+                .map(|s| SensorReport {
+                    label: s.label.clone(),
+                    state: s.state,
+                    active_ticks: s.active_ticks,
+                    uptime_ticks: s.uptime_ticks,
+                    restarts: s.restarts,
+                    faults_injected: s.faults_injected,
+                    chunks_dropped: s.chunks_dropped,
+                    sessions: s.outputs.clone(),
+                    aborted_sessions: s.aborted_sessions,
+                    samples_processed: s.samples_processed(),
+                    decoded_bits: s.decoded_bits(),
+                    bursts_detected: s.bursts_detected(),
+                    last_error: s.last_error(),
+                })
+                .collect(),
+            events: self.events.clone(),
+        }
+    }
+
+    fn inject_due_faults(&mut self, now: u64) {
+        // The plan is immutable; collect indices first to appease the
+        // borrow of `self.sensors`.
+        let due: Vec<(usize, Fault)> = self.plan.due(now).map(|e| (e.sensor, e.fault)).collect();
+        for (k, fault) in due {
+            let Some(slot) = self.sensors.get_mut(k) else { continue };
+            if slot.state.is_terminal() {
+                continue;
+            }
+            slot.faults_injected += 1;
+            match fault {
+                Fault::Disconnect => slot.disconnect_pending = true,
+                Fault::Stall { ticks } => {
+                    slot.stall_until = slot.stall_until.max(now + ticks);
+                }
+                Fault::TruncateChunk { keep_frac } => {
+                    slot.truncate_next = Some(keep_frac.clamp(0.0, 1.0));
+                }
+                Fault::CorruptBurst { chunks, nan_frac } => {
+                    slot.corrupt_chunks += chunks;
+                    slot.corrupt_frac = nan_frac.clamp(0.0, 1.0);
+                }
+                Fault::DropChunks { chunks } => slot.drop_next += chunks,
+                Fault::ReorderNext => slot.reorder_request = true,
+                Fault::Poison => slot.poisoned = true,
+            }
+            self.events.push(ServiceEvent {
+                tick: now,
+                sensor: k,
+                what: format!("fault injected: {}", fault.label()),
+            });
+        }
+    }
+
+    fn step_sensor(&mut self, k: usize, now: u64) {
+        match self.sensors[k].state {
+            LifecycleState::Done | LifecycleState::Quarantined => return,
+            LifecycleState::Restarting { resume_tick } => {
+                self.sensors[k].active_ticks += 1;
+                if now >= resume_tick {
+                    self.resume_sensor(k, now);
+                }
+                return;
+            }
+            LifecycleState::Running | LifecycleState::Degraded => {}
+        }
+        let slot = &mut self.sensors[k];
+        slot.active_ticks += 1;
+        slot.uptime_ticks += 1;
+        slot.fault_seen_this_tick = false;
+
+        if slot.disconnect_pending {
+            slot.disconnect_pending = false;
+            self.fail_sensor(k, now, "disconnect", true);
+            return;
+        }
+
+        if now >= self.sensors[k].stall_until {
+            if self.pull_chunks(k, now).is_err() {
+                return; // fail path already taken
+            }
+        } else {
+            self.sensors[k].fault_seen_this_tick = true; // stalled
+        }
+
+        self.offer_pending(k, now);
+
+        if self.maybe_rotate_or_finish(k, now) {
+            return;
+        }
+
+        let slot = &mut self.sensors[k];
+        // Watchdog: no forward progress for too long means the stream
+        // is dead, whatever the cause looked like.
+        if now.saturating_sub(slot.last_progress_tick) >= slot.policy.watchdog_ticks {
+            self.events.push(ServiceEvent {
+                tick: now,
+                sensor: k,
+                what: "watchdog fired: no forward progress".to_string(),
+            });
+            self.fail_sensor(k, now, "watchdog stall", true);
+            return;
+        }
+
+        // Degraded-state bookkeeping.
+        let slot = &mut self.sensors[k];
+        if slot.fault_seen_this_tick {
+            slot.clean_ticks = 0;
+            if slot.state == LifecycleState::Running {
+                slot.state = LifecycleState::Degraded;
+                self.events.push(ServiceEvent {
+                    tick: now,
+                    sensor: k,
+                    what: "degraded: fault observed".to_string(),
+                });
+            }
+        } else if slot.state == LifecycleState::Degraded {
+            slot.clean_ticks += 1;
+            if slot.clean_ticks >= DEGRADED_RECOVERY_TICKS {
+                slot.state = LifecycleState::Running;
+                self.events.push(ServiceEvent {
+                    tick: now,
+                    sensor: k,
+                    what: "recovered: clean ticks elapsed".to_string(),
+                });
+            }
+        }
+    }
+
+    /// Pulls up to `chunks_per_tick` chunks through the fault filter
+    /// into the pending queue. `Err(())` means the sensor already took
+    /// the fail path.
+    fn pull_chunks(&mut self, k: usize, now: u64) -> Result<(), ()> {
+        for _ in 0..self.sensors[k].policy.chunks_per_tick {
+            let slot = &mut self.sensors[k];
+            if slot.exhausted {
+                break;
+            }
+            // Backpressure: a full pending queue stops the pull under
+            // `Reject` (no loss), or evicts the oldest under
+            // `DropOldest` (stay fresh, count the loss).
+            if slot.pending.len() >= slot.policy.pending_limit {
+                match slot.policy.backpressure {
+                    BackpressurePolicy::Reject => break,
+                    BackpressurePolicy::DropOldest => {
+                        slot.pending.pop_front();
+                        slot.chunks_dropped += 1;
+                        slot.fault_seen_this_tick = true;
+                    }
+                }
+            }
+            let mut chunk = Vec::new();
+            match slot.source.next_chunk(&mut chunk) {
+                Ok(0) => {
+                    slot.exhausted = true;
+                    break;
+                }
+                Ok(_) => {}
+                Err(e) => {
+                    let retryable = e.is_retryable();
+                    self.events.push(ServiceEvent {
+                        tick: now,
+                        sensor: k,
+                        what: format!("source error: {e}"),
+                    });
+                    self.fail_sensor(k, now, "source error", retryable);
+                    return Err(());
+                }
+            }
+            let slot = &mut self.sensors[k];
+
+            // In-transit faults, in wire order: loss, truncation,
+            // corruption, reordering.
+            if slot.drop_next > 0 {
+                slot.drop_next -= 1;
+                slot.chunks_dropped += 1;
+                slot.fault_seen_this_tick = true;
+                continue;
+            }
+            if let Some(keep) = slot.truncate_next.take() {
+                chunk.truncate((chunk.len() as f64 * keep) as usize);
+                slot.fault_seen_this_tick = true;
+            }
+            if slot.corrupt_chunks > 0 {
+                slot.corrupt_chunks -= 1;
+                let frac = slot.corrupt_frac;
+                corrupt_chunk(&mut chunk, frac, &mut slot.corrupt_rng);
+                slot.fault_seen_this_tick = true;
+            } else if slot.poisoned {
+                for s in chunk.iter_mut() {
+                    *s = Complex::new(f64::NAN, f64::NAN);
+                }
+                slot.fault_seen_this_tick = true;
+            }
+
+            // Poison detection is observational: the supervisor scans
+            // what it is about to deliver, it does not peek at the
+            // fault plan.
+            let non_finite =
+                chunk.iter().filter(|s| !s.re.is_finite() || !s.im.is_finite()).count();
+            if !chunk.is_empty() && non_finite * 2 > chunk.len() {
+                slot.consecutive_corrupt += 1;
+                if slot.consecutive_corrupt >= slot.policy.max_corrupt_chunks {
+                    self.events.push(ServiceEvent {
+                        tick: now,
+                        sensor: k,
+                        what: format!(
+                            "stream declared poisoned after {} corrupt chunks",
+                            slot.consecutive_corrupt
+                        ),
+                    });
+                    self.fail_sensor(k, now, "poisoned stream", true);
+                    return Err(());
+                }
+            } else if !chunk.is_empty() {
+                slot.consecutive_corrupt = 0;
+            }
+
+            if slot.reorder_request {
+                // Hold this chunk back; it goes out after the next one.
+                slot.reorder_request = false;
+                slot.reorder_held = Some(chunk);
+                slot.fault_seen_this_tick = true;
+                continue;
+            }
+            slot.pending.push_back(chunk);
+            if let Some(held) = slot.reorder_held.take() {
+                slot.pending.push_back(held);
+            }
+        }
+        Ok(())
+    }
+
+    /// Offers queued chunks to the registry, pumping once on a
+    /// rejection; chunks the registry still refuses stay queued for
+    /// the next tick. Rotation happens *here*, at the exact budget
+    /// boundary between two offers — a once-per-tick check would let
+    /// post-boundary chunks leak into the pre-boundary session.
+    fn offer_pending(&mut self, k: usize, now: u64) {
+        let Some(mut id) = self.sensors[k].session else { return };
+        loop {
+            let slot = &self.sensors[k];
+            if slot.pending.front().is_none() {
+                break;
+            }
+            // Budget reached with more data queued: flush this
+            // session's report and open the next one before offering
+            // another sample. (A boundary that coincides with the end
+            // of the stream is handled by the finish path instead.)
+            if let Some(budget) = slot.policy.rotate_after_samples {
+                if slot.session_samples >= budget {
+                    let closed = self.registry.finish(id).expect("rotating session exists");
+                    let slot = &mut self.sensors[k];
+                    slot.outputs.push(closed);
+                    slot.session = None;
+                    slot.session_samples = 0;
+                    match open_session(&mut self.registry, &slot.kind, slot.source.as_ref()) {
+                        Ok(new_id) => {
+                            let slot = &mut self.sensors[k];
+                            slot.session = Some(new_id);
+                            slot.last_progress_tick = now;
+                            id = new_id;
+                            self.events.push(ServiceEvent {
+                                tick: now,
+                                sensor: k,
+                                what: "session rotated: report flushed".to_string(),
+                            });
+                        }
+                        Err(why) => {
+                            self.quarantine(k, now, &format!("rotation failed: {why}"));
+                            return;
+                        }
+                    }
+                }
+            }
+            let slot = &mut self.sensors[k];
+            let front = slot.pending.front().expect("front still queued");
+            match self.registry.offer(id, front) {
+                Ok(()) => {
+                    let n = front.len();
+                    let slot = &mut self.sensors[k];
+                    slot.session_samples += n;
+                    slot.pending.pop_front();
+                    slot.last_progress_tick = now;
+                }
+                Err(_) => {
+                    // One pump-retry per tick: drain everybody, try
+                    // again, otherwise wait for the next tick.
+                    self.registry.pump();
+                    let slot = &mut self.sensors[k];
+                    let front = slot.pending.front().expect("front still queued");
+                    if self.registry.offer(id, front).is_ok() {
+                        let n = front.len();
+                        let slot = &mut self.sensors[k];
+                        slot.session_samples += n;
+                        slot.pending.pop_front();
+                        slot.last_progress_tick = now;
+                    } else {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Finishes an exhausted sensor: flushes the final report and
+    /// marks the sensor done, or routes a stream error into the
+    /// restart/quarantine path. Returns `true` when the sensor went
+    /// terminal or restarted this tick.
+    fn maybe_rotate_or_finish(&mut self, k: usize, now: u64) -> bool {
+        let slot = &self.sensors[k];
+        let Some(id) = slot.session else { return false };
+        if slot.exhausted && slot.pending.is_empty() && slot.reorder_held.is_none() {
+            let closed = self.registry.finish(id).expect("finishing session exists");
+            let slot = &mut self.sensors[k];
+            slot.session = None;
+            let failed = closed.output.is_err();
+            let retryable = closed.output.is_retryable_err();
+            let kind = closed.output.error_kind();
+            slot.outputs.push(closed);
+            if failed {
+                self.events.push(ServiceEvent {
+                    tick: now,
+                    sensor: k,
+                    what: format!("stream error at finish: {}", kind.unwrap_or("unknown")),
+                });
+                self.fail_sensor(k, now, kind.unwrap_or("stream error"), retryable);
+            } else {
+                let slot = &mut self.sensors[k];
+                slot.state = LifecycleState::Done;
+                self.events.push(ServiceEvent {
+                    tick: now,
+                    sensor: k,
+                    what: "completed: final report flushed".to_string(),
+                });
+            }
+            return true;
+        }
+        false
+    }
+
+    /// The restart/quarantine decision point: abandons the current
+    /// session and either schedules a backed-off restart (retryable
+    /// failure, budget remaining) or quarantines the sensor.
+    fn fail_sensor(&mut self, k: usize, now: u64, reason: &str, retryable: bool) {
+        let slot = &mut self.sensors[k];
+        if let Some(id) = slot.session.take() {
+            if let Ok(stats) = self.registry.abort(id) {
+                slot.aborted_sessions += 1;
+                slot.aborted_samples += stats.samples_processed;
+            }
+        }
+        slot.pending.clear();
+        slot.reorder_held = None;
+        slot.exhausted = false;
+        slot.session_samples = 0;
+        slot.consecutive_corrupt = 0;
+
+        if !retryable {
+            self.quarantine(k, now, &format!("fatal: {reason}"));
+            return;
+        }
+        let slot = &mut self.sensors[k];
+        if slot.restarts >= slot.policy.restart.max_restarts {
+            self.quarantine(k, now, &format!("restart budget exhausted after: {reason}"));
+            return;
+        }
+        slot.restarts += 1;
+        let delay = slot.policy.restart.backoff_ticks(slot.restarts, slot.jitter_seed);
+        let resume_tick = now + delay;
+        slot.state = LifecycleState::Restarting { resume_tick };
+        self.events.push(ServiceEvent {
+            tick: now,
+            sensor: k,
+            what: format!(
+                "restart {} scheduled after {reason} (backoff {delay}, resume @ {resume_tick})",
+                slot.restarts
+            ),
+        });
+    }
+
+    /// Fires a scheduled restart: rewinds the source and opens a fresh
+    /// session.
+    fn resume_sensor(&mut self, k: usize, now: u64) {
+        let slot = &mut self.sensors[k];
+        if let Err(e) = slot.source.reset() {
+            let retryable = e.is_retryable();
+            self.events.push(ServiceEvent {
+                tick: now,
+                sensor: k,
+                what: format!("restart failed to rewind source: {e}"),
+            });
+            self.fail_sensor(k, now, "source rewind failed", retryable);
+            return;
+        }
+        match open_session(&mut self.registry, &slot.kind, slot.source.as_ref()) {
+            Ok(id) => {
+                let slot = &mut self.sensors[k];
+                slot.session = Some(id);
+                slot.state = LifecycleState::Running;
+                slot.last_progress_tick = now;
+                slot.clean_ticks = 0;
+                self.events.push(ServiceEvent {
+                    tick: now,
+                    sensor: k,
+                    what: format!("restarted (attempt {})", slot.restarts),
+                });
+            }
+            Err(why) => self.quarantine(k, now, &format!("reopen failed: {why}")),
+        }
+    }
+
+    fn quarantine(&mut self, k: usize, now: u64, why: &str) {
+        let slot = &mut self.sensors[k];
+        if let Some(id) = slot.session.take() {
+            if let Ok(stats) = self.registry.abort(id) {
+                slot.aborted_sessions += 1;
+                slot.aborted_samples += stats.samples_processed;
+            }
+        }
+        slot.pending.clear();
+        slot.state = LifecycleState::Quarantined;
+        self.events.push(ServiceEvent {
+            tick: now,
+            sensor: k,
+            what: format!("quarantined: {why}"),
+        });
+    }
+}
+
+/// Opens the registry session matching a sensor's kind. Construction
+/// failures come back as a display string so callers can log and
+/// quarantine uniformly.
+fn open_session(
+    registry: &mut SessionRegistry,
+    kind: &SensorKind,
+    source: &dyn SensorSource,
+) -> Result<SessionId, String> {
+    let (fs, fc) = (source.sample_rate(), source.center_freq());
+    match kind {
+        SensorKind::Covert(rx) => {
+            registry.open_covert(rx.clone(), fs, fc).map_err(|e| e.to_string())
+        }
+        SensorKind::BlindCovert(rx) => {
+            registry.open_blind_covert(rx.clone(), fs, fc).map_err(|e| e.to_string())
+        }
+        SensorKind::Keylog(cfg) => {
+            registry.open_keylog(cfg.clone(), fs, fc).map_err(|e| e.to_string())
+        }
+    }
+}
+
+/// NaN-corrupts roughly `frac` of the chunk at xorshift-seeded
+/// positions (deterministic: the state threads through the slot).
+fn corrupt_chunk(chunk: &mut [Complex], frac: f64, state: &mut u64) {
+    let threshold = (frac * 1024.0) as u64;
+    for s in chunk.iter_mut() {
+        *state ^= *state << 13;
+        *state ^= *state >> 7;
+        *state ^= *state << 17;
+        if *state % 1024 < threshold {
+            *s = Complex::new(f64::NAN, f64::NAN);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emsc_keylog::detect::Detector;
+    use emsc_sdr::Capture;
+
+    use crate::fault::FaultEvent;
+    use crate::policy::{RestartPolicy, SensorPolicy};
+    use crate::source::ReplaySource;
+
+    /// A small keylogging capture (0.1 s, one keystroke burst) — cheap
+    /// enough to supervise many times per test run.
+    fn tiny_keylog(seed: u64) -> (DetectorConfig, Capture) {
+        let fs = 2.4e6_f64;
+        let center = 1.455e6;
+        let f_sw = 970e3;
+        let f_bb = f_sw - center;
+        let n = (0.1 * fs) as usize;
+        let mut samples = vec![Complex::new(0.0, 0.0); n];
+        let mut state = seed | 1;
+        for s in samples.iter_mut() {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let u = (state % 10_000) as f64 / 10_000.0 - 0.5;
+            *s = Complex::new(0.02 * u, 0.02 * u);
+        }
+        let (a, b) = ((0.02 * fs) as usize, (0.06 * fs) as usize);
+        for (i, s) in samples.iter_mut().enumerate().take(b).skip(a) {
+            *s += Complex::from_polar(1.0, 2.0 * std::f64::consts::PI * f_bb * i as f64 / fs);
+        }
+        (DetectorConfig::new(f_sw), Capture { samples, sample_rate: fs, center_freq: center })
+    }
+
+    fn keylog_spec(seed: u64, policy: SensorPolicy) -> (SensorSpec, SessionOutput) {
+        let (config, capture) = tiny_keylog(seed);
+        let batch = SessionOutput::Keylog(Detector::new(config.clone()).try_detect(&capture));
+        let spec = SensorSpec {
+            label: format!("keylog-{seed}"),
+            kind: SensorKind::Keylog(config),
+            source: Box::new(ReplaySource::new(capture, 9973)),
+            policy,
+        };
+        (spec, batch)
+    }
+
+    #[test]
+    fn healthy_sensor_streams_to_done_and_matches_batch() {
+        let (spec, batch) = keylog_spec(7, SensorPolicy::default());
+        let mut sup = Supervisor::new(ServiceConfig::default(), FaultPlan::none());
+        sup.add_sensor(spec);
+        let report = sup.run();
+        let s = &report.sensors[0];
+        assert_eq!(s.state, LifecycleState::Done);
+        assert_eq!(s.restarts, 0);
+        assert_eq!(s.sessions.len(), 1);
+        assert_eq!(s.sessions[0].output, batch, "stream must equal batch");
+        assert_eq!(s.uptime_ticks, s.active_ticks, "a healthy run is 100% uptime");
+        assert!(s.bursts_detected > 0, "the keystroke burst went undetected");
+    }
+
+    #[test]
+    fn disconnect_restarts_with_backoff_and_replays_clean() {
+        let (spec, batch) = keylog_spec(11, SensorPolicy::default());
+        let plan =
+            FaultPlan::new(vec![FaultEvent { tick: 3, sensor: 0, fault: Fault::Disconnect }]);
+        let mut sup = Supervisor::new(ServiceConfig::default(), plan);
+        sup.add_sensor(spec);
+        let report = sup.run();
+        let s = &report.sensors[0];
+        assert_eq!(s.state, LifecycleState::Done, "events: {:#?}", report.events);
+        assert_eq!(s.restarts, 1);
+        assert_eq!(s.aborted_sessions, 1, "the disconnected session is abandoned");
+        assert_eq!(s.sessions.len(), 1, "only the post-restart session completes");
+        assert_eq!(s.sessions[0].output, batch, "post-restart replay must equal batch");
+        assert!(s.uptime_ticks < s.active_ticks, "backoff ticks must not count as uptime");
+        assert!(report.events.iter().any(|e| e.what.contains("restart 1 scheduled")));
+    }
+
+    #[test]
+    fn long_stall_trips_the_watchdog_then_recovers() {
+        let policy = SensorPolicy { watchdog_ticks: 4, ..SensorPolicy::default() };
+        let (spec, batch) = keylog_spec(13, policy);
+        let plan = FaultPlan::new(vec![FaultEvent {
+            tick: 2,
+            sensor: 0,
+            fault: Fault::Stall { ticks: 12 },
+        }]);
+        let mut sup = Supervisor::new(ServiceConfig::default(), plan);
+        sup.add_sensor(spec);
+        let report = sup.run();
+        let s = &report.sensors[0];
+        assert_eq!(s.state, LifecycleState::Done, "events: {:#?}", report.events);
+        assert!(s.restarts >= 1, "watchdog never fired");
+        assert_eq!(s.sessions.last().unwrap().output, batch);
+        assert!(report.events.iter().any(|e| e.what.contains("watchdog fired")));
+    }
+
+    #[test]
+    fn poison_exhausts_the_restart_budget_into_quarantine_without_collateral() {
+        let policy = SensorPolicy {
+            restart: RestartPolicy { max_restarts: 2, ..RestartPolicy::default() },
+            ..SensorPolicy::default()
+        };
+        let (poisoned, _) = keylog_spec(17, policy);
+        let (healthy, batch) = keylog_spec(19, SensorPolicy::default());
+        let plan = FaultPlan::new(vec![FaultEvent { tick: 2, sensor: 0, fault: Fault::Poison }]);
+        let mut sup = Supervisor::new(ServiceConfig::default(), plan);
+        sup.add_sensor(poisoned);
+        sup.add_sensor(healthy);
+        let report = sup.run();
+        let p = &report.sensors[0];
+        assert_eq!(p.state, LifecycleState::Quarantined, "events: {:#?}", report.events);
+        assert_eq!(p.restarts, 2, "budget must be spent before quarantine");
+        assert!(p.sessions.is_empty(), "a poisoned stream never completes a session");
+        assert!(report.events.iter().any(|e| e.what.contains("poisoned")));
+        // The neighbour is untouched: supervision is per-sensor.
+        let h = &report.sensors[1];
+        assert_eq!(h.state, LifecycleState::Done);
+        assert_eq!(h.sessions[0].output, batch);
+    }
+
+    #[test]
+    fn rotation_flushes_a_full_report_per_pass() {
+        let (config, capture) = tiny_keylog(23);
+        let batch = SessionOutput::Keylog(Detector::new(config.clone()).try_detect(&capture));
+        let n = capture.samples.len();
+        let spec = SensorSpec {
+            label: "rotating".to_string(),
+            kind: SensorKind::Keylog(config),
+            source: Box::new(ReplaySource::looping(capture, 9973, 2)),
+            policy: SensorPolicy { rotate_after_samples: Some(n), ..SensorPolicy::default() },
+        };
+        let mut sup = Supervisor::new(ServiceConfig::default(), FaultPlan::none());
+        sup.add_sensor(spec);
+        let report = sup.run();
+        let s = &report.sensors[0];
+        assert_eq!(s.state, LifecycleState::Done, "events: {:#?}", report.events);
+        assert_eq!(s.sessions.len(), 2, "two passes, two flushed reports");
+        for closed in &s.sessions {
+            assert_eq!(closed.output, batch, "every rotated session sees one clean pass");
+        }
+        assert!(report.events.iter().any(|e| e.what.contains("rotated")));
+    }
+
+    #[test]
+    fn backpressure_policies_reject_or_shed_oversized_streams() {
+        // Chunks bigger than the registry buffer can never be admitted:
+        // Reject parks them (no loss, no progress), DropOldest sheds
+        // them. Either way the watchdog notices the stalled delivery
+        // and the restart budget drains into quarantine — the daemon
+        // survives a sensor that cannot make progress at all.
+        let config = ServiceConfig { buffer_limit: 1024, ..ServiceConfig::default() };
+        let (det, capture) = tiny_keylog(29);
+        let mk = |backpressure| SensorSpec {
+            label: format!("{backpressure:?}"),
+            kind: SensorKind::Keylog(det.clone()),
+            source: Box::new(ReplaySource::new(capture.clone(), 2048)),
+            policy: SensorPolicy { backpressure, pending_limit: 4, ..SensorPolicy::default() },
+        };
+        let mut sup = Supervisor::new(config, FaultPlan::none());
+        sup.add_sensor(mk(BackpressurePolicy::Reject));
+        sup.add_sensor(mk(BackpressurePolicy::DropOldest));
+        let report = sup.run();
+        let (reject, shed) = (&report.sensors[0], &report.sensors[1]);
+        assert_eq!(reject.state, LifecycleState::Quarantined);
+        assert_eq!(shed.state, LifecycleState::Quarantined);
+        assert_eq!(reject.chunks_dropped, 0, "Reject must never lose a chunk");
+        assert!(shed.chunks_dropped > 0, "DropOldest must shed the backlog");
+        assert_eq!(reject.samples_processed, 0);
+    }
+
+    #[test]
+    fn identical_runs_produce_identical_reports() {
+        let run = || {
+            let policy = SensorPolicy { watchdog_ticks: 4, ..SensorPolicy::default() };
+            let (spec, _) = keylog_spec(31, policy);
+            let plan = FaultPlan::new(vec![
+                FaultEvent { tick: 2, sensor: 0, fault: Fault::TruncateChunk { keep_frac: 0.5 } },
+                FaultEvent { tick: 4, sensor: 0, fault: Fault::Disconnect },
+            ]);
+            let mut sup = Supervisor::new(ServiceConfig::default(), plan);
+            sup.add_sensor(spec);
+            sup.run()
+        };
+        assert_eq!(run(), run(), "same plan and seed must replay bit-identically");
+    }
+}

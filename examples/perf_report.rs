@@ -17,6 +17,10 @@
 //!    receiver on the same capture: steady-state throughput in
 //!    Msamples/s plus per-chunk heap allocations (counted by a
 //!    wrapping global allocator).
+//! 5. **Sessions** — the multi-tenant registry multiplexing several
+//!    bounded-buffer streams (including a poisoned one): wall time
+//!    plus the per-session cumulative counters (chunks accepted and
+//!    rejected, stream errors, last error kind).
 //!
 //! All timed paths produce bit-identical outputs (see the determinism
 //! tests in `emsc-runtime` and `emsc-emfield`), so the speedups come
@@ -266,6 +270,98 @@ fn main() {
     println!("  allocs per chunk     {allocs_per_chunk:>9.2}   (steady state)");
     println!("  report bit-identical {stream_identical}\n");
 
+    // 5. Multi-tenant session registry: the bench capture multiplexed
+    //    through bounded-buffer sessions at two chunk sizes, next to a
+    //    poisoned stream that fails with a typed error. The per-session
+    //    cumulative counters (satellite of the service layer) land in
+    //    the table below and in the JSON.
+    use emsc_core::session::SessionRegistry;
+    let poisoned_cap = Capture {
+        samples: vec![Complex::new(f64::NAN, f64::NAN); 50_000],
+        sample_rate: stream_cap.sample_rate,
+        center_freq: stream_cap.center_freq,
+    };
+    let tenants: Vec<(&str, &Capture, usize)> = vec![
+        ("covert 16k-chunk", &stream_cap, 16 * 1024),
+        ("covert 4k-chunk", &stream_cap, 4 * 1024),
+        ("poisoned stream", &poisoned_cap, 8 * 1024),
+    ];
+    let (session_s, session_rows) = time_best(3, || {
+        let mut registry = SessionRegistry::new(seed, 1 << 16);
+        let ids: Vec<_> = tenants
+            .iter()
+            .map(|(_, cap, _)| {
+                registry
+                    .open_covert(stream_cfg.clone(), cap.sample_rate, cap.center_freq)
+                    .expect("bench session admits")
+            })
+            .collect();
+        let mut offsets = vec![0usize; tenants.len()];
+        loop {
+            let mut progressed = false;
+            for (k, (_, cap, chunk)) in tenants.iter().enumerate() {
+                if offsets[k] >= cap.samples.len() {
+                    continue;
+                }
+                let end = (offsets[k] + chunk).min(cap.samples.len());
+                while registry.offer(ids[k], &cap.samples[offsets[k]..end]).is_err() {
+                    registry.pump();
+                }
+                offsets[k] = end;
+                progressed = true;
+            }
+            if !progressed {
+                break;
+            }
+        }
+        registry.pump();
+        ids.into_iter()
+            .map(|id| registry.finish(id).expect("bench session closes").stats)
+            .collect::<Vec<_>>()
+    });
+    println!("sessions ({} tenants, shared registry):", tenants.len());
+    println!("  multiplexed replay   {session_s:>9.4} s");
+    println!(
+        "  {:<18} {:>8} {:>8} {:>12} {:>7} last error",
+        "session", "accepted", "rejected", "samples", "errors"
+    );
+    for ((label, _, _), stats) in tenants.iter().zip(&session_rows) {
+        println!(
+            "  {:<18} {:>8} {:>8} {:>12} {:>7} {}",
+            label,
+            stats.chunks_accepted,
+            stats.chunks_rejected,
+            stats.samples_processed,
+            stats.stream_errors,
+            stats.last_error.unwrap_or("-")
+        );
+    }
+    println!();
+
+    let sessions_json = {
+        let entries: Vec<String> = tenants
+            .iter()
+            .zip(&session_rows)
+            .map(|((label, _, chunk), s)| {
+                format!(
+                    concat!(
+                        "{{ \"label\": \"{}\", \"chunk_samples\": {}, ",
+                        "\"chunks_accepted\": {}, \"chunks_rejected\": {}, ",
+                        "\"samples_processed\": {}, \"stream_errors\": {}, \"last_error\": {} }}"
+                    ),
+                    label,
+                    chunk,
+                    s.chunks_accepted,
+                    s.chunks_rejected,
+                    s.samples_processed,
+                    s.stream_errors,
+                    s.last_error.map(|e| format!("\"{e}\"")).unwrap_or_else(|| "null".to_string()),
+                )
+            })
+            .collect();
+        format!("[\n      {}\n    ]", entries.join(",\n      "))
+    };
+
     let json = format!(
         concat!(
             "{{\n",
@@ -294,6 +390,10 @@ fn main() {
             "    \"msamples_per_s\": {:.3},\n",
             "    \"allocs_per_chunk\": {:.2},\n",
             "    \"report_bit_identical\": {}\n",
+            "  }},\n",
+            "  \"sessions\": {{\n",
+            "    \"multiplexed_replay_s\": {:.6},\n",
+            "    \"tenants\": {}\n",
             "  }},\n",
             "  \"end_to_end\": {{\n",
             "    \"experiment\": \"table2\",\n",
@@ -327,6 +427,8 @@ fn main() {
         stream_msps,
         allocs_per_chunk,
         stream_identical,
+        session_s,
+        sessions_json,
         6 * scale.runs,
         legacy_s,
         serial_s,

@@ -7,7 +7,7 @@
 //!
 //! Artefact names: fig2, bios, fig4, fig5, fig6, fig7, fig8, table1,
 //! table2, background, fig9, table3, fig10, fig11, table4, extensions,
-//! impairments, streaming.
+//! impairments, streaming, service.
 //!
 //! Independent artefacts fan out across the `emsc-runtime` worker
 //! pool (the big grids — Table II, Table III, the background stress —
@@ -147,6 +147,12 @@ fn main() {
         artefacts.push((
             "streaming",
             Box::new(move || render_streaming_rows(&streaming_sessions(seed))),
+        ));
+    }
+    if want("service") {
+        artefacts.push((
+            "service",
+            Box::new(move || emsc_service::render_soak_rows(&emsc_service::soak(seed))),
         ));
     }
     if want("extensions") {
