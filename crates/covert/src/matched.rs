@@ -8,27 +8,48 @@
 //! detected edge and samples at a *fixed* period, with no per-bit
 //! timing recovery.
 
-use emsc_sdr::dsp::{convolve_same, edge_kernel, find_peaks};
-use emsc_sdr::stats::quantile;
+use emsc_sdr::dsp::{convolve_same_into, edge_kernel, find_peaks};
+use emsc_sdr::simd::sum_sq;
+use emsc_sdr::stats::try_quantile_with;
+use emsc_sdr::DspScratch;
 
 /// Demodulates the energy signal `y` (sample spacing `dt_s` seconds)
 /// by integrating fixed windows of `symbol_period_s` from the first
 /// detected edge onward — the conventional matched-filter/synchronous
-/// sampling approach.
+/// sampling approach. Allocating wrapper around
+/// [`matched_filter_demodulate_with`].
 ///
 /// Returns the decoded bits (empty if no edge is found).
 pub fn matched_filter_demodulate(y: &[f64], dt_s: f64, symbol_period_s: f64) -> Vec<u8> {
+    matched_filter_demodulate_with(y, dt_s, symbol_period_s, &mut DspScratch::new())
+}
+
+/// [`matched_filter_demodulate`] with reusable scratch: the edge
+/// response is staged in `scratch.f1`, the quantile sorts in
+/// `scratch.f0`, and each integrate-and-dump window is the
+/// lane-chunked [`sum_sq`] reduction. This is a tolerance-bounded path
+/// (DESIGN.md §12): the reassociated window sums differ from a scalar
+/// fold only in the last ulps, far inside the mid-range decision
+/// threshold's margin.
+pub fn matched_filter_demodulate_with(
+    y: &[f64],
+    dt_s: f64,
+    symbol_period_s: f64,
+    scr: &mut DspScratch,
+) -> Vec<u8> {
     if y.is_empty() || symbol_period_s <= 0.0 || dt_s <= 0.0 {
         return Vec::new();
     }
     let period = symbol_period_s / dt_s;
     // Find the first strong rising edge to anchor the clock.
     let l_d = ((period / 4.0).round() as usize * 2).max(4);
-    let response = convolve_same(y, &edge_kernel(l_d));
+    let mut response = std::mem::take(&mut scr.f1);
+    convolve_same_into(y, &edge_kernel(l_d), &mut response, scr);
     let positive: Vec<f64> = response.iter().map(|&v| v.max(0.0)).collect();
-    let robust = quantile(&positive, 0.98).max(1e-30);
+    let robust = try_quantile_with(&positive, 0.98, scr).expect("non-empty").max(1e-30);
     let peaks = find_peaks(&response, 0.3 * robust, (period * 0.5) as usize);
-    let Some(first) = peaks.first() else {
+    scr.f1 = response;
+    let Some(&first) = peaks.first() else {
         return Vec::new();
     };
     // Integrate-and-dump at the fixed period (no timing recovery).
@@ -37,15 +58,15 @@ pub fn matched_filter_demodulate(y: &[f64], dt_s: f64, symbol_period_s: f64) -> 
     while (pos + period) as usize <= y.len() {
         let s = pos as usize;
         let e = (pos + period) as usize;
-        powers.push(y[s..e].iter().map(|&v| v * v).sum::<f64>() / (e - s) as f64);
+        powers.push(sum_sq(&y[s..e]) / (e - s) as f64);
         pos += period;
     }
     if powers.is_empty() {
         return Vec::new();
     }
     // Same mid-range threshold rule as the batch receiver's fallback.
-    let lo = quantile(&powers, 0.05);
-    let hi = quantile(&powers, 0.95);
+    let lo = try_quantile_with(&powers, 0.05, scr).expect("non-empty");
+    let hi = try_quantile_with(&powers, 0.95, scr).expect("non-empty");
     let thr = (lo + hi) / 2.0;
     powers.iter().map(|&p| (p > thr) as u8).collect()
 }
@@ -115,5 +136,19 @@ mod tests {
     fn empty_input_yields_no_bits() {
         assert!(matched_filter_demodulate(&[], 1.0, 10.0).is_empty());
         assert!(matched_filter_demodulate(&[0.0; 100], 1.0, 10.0).is_empty());
+    }
+
+    #[test]
+    fn scratch_variant_decodes_identically_and_reuses_buffers() {
+        let bits = vec![1u8, 0, 1, 1, 0, 0, 1, 0];
+        let y = ideal_energy(&bits, 40);
+        let mut scr = DspScratch::new();
+        assert_eq!(
+            matched_filter_demodulate_with(&y, 1.0, 40.0, &mut scr),
+            matched_filter_demodulate(&y, 1.0, 40.0)
+        );
+        let caps = (scr.f0.capacity(), scr.f1.capacity());
+        matched_filter_demodulate_with(&y, 1.0, 40.0, &mut scr);
+        assert_eq!(caps, (scr.f0.capacity(), scr.f1.capacity()), "steady-state must not grow");
     }
 }

@@ -93,7 +93,7 @@ impl Scene {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use emsc_sdr::fft::{fft, frequency_bin};
+    use emsc_sdr::fft::{frequency_bin, plan_for};
     use emsc_vrm::train::Pulse;
 
     fn regular_train(f_sw: f64, charge_c: f64, duration_s: f64) -> SwitchingTrain {
@@ -108,7 +108,8 @@ mod tests {
 
     fn line_amp(buf: &[Complex], fs: f64, f_bb: f64) -> f64 {
         let n = 8192;
-        let spec = fft(&buf[..n]);
+        let mut spec = buf[..n].to_vec();
+        plan_for(n).forward(&mut spec);
         let k = frequency_bin(f_bb, n, fs);
         spec[k].abs() / n as f64
     }

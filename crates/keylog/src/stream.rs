@@ -131,31 +131,48 @@ impl StreamingDetector {
     pub fn push(&mut self, chunk: &[Complex]) -> DetectProgress {
         assert!(!self.finished, "push after finish");
         let n = self.detector.config().window_samples;
-        for &z in chunk {
-            if !(z.re.is_finite() && z.im.is_finite()) {
-                self.non_finite += 1;
+        // Counters first, then whole windows in bulk: a full window
+        // sitting inside the chunk is transformed straight off the
+        // caller's slice — no per-sample carry-buffer pushes. The
+        // window/transform/band-sum sequence is unchanged, so energies
+        // are bit-identical to the per-sample formulation.
+        self.non_finite += chunk.iter().filter(|z| !(z.re.is_finite() && z.im.is_finite())).count();
+        self.seen += chunk.len();
+        let mut remaining = chunk;
+        while !remaining.is_empty() {
+            if self.window.is_empty() && remaining.len() >= n {
+                let (frame, rest) = remaining.split_at(n);
+                self.transform_frame(frame);
+                remaining = rest;
+                continue;
             }
-            self.window.push(z);
+            let take = (n - self.window.len()).min(remaining.len());
+            let (head, rest) = remaining.split_at(take);
+            self.window.extend_from_slice(head);
+            remaining = rest;
             if self.window.len() == n {
-                // Same per-frame pipeline as `stft`: window, transform,
-                // then sum the selected bins' magnitudes in band order.
-                for (slot, (&s, &w)) in
-                    self.buf.iter_mut().zip(self.window.iter().zip(self.win.iter()))
-                {
-                    *slot = s.scale(w);
-                }
-                self.plan.forward(&mut self.buf);
-                let energy: f64 = self.band_bins.iter().map(|&k| self.buf[k].abs()).sum();
-                self.energies.push(energy);
+                let frame = std::mem::take(&mut self.window);
+                self.transform_frame(&frame);
+                self.window = frame;
                 self.window.clear();
             }
         }
-        self.seen += chunk.len();
         DetectProgress {
             windows: self.energies.len(),
             samples_seen: self.seen,
             non_finite_samples: self.non_finite,
         }
+    }
+
+    /// Same per-frame pipeline as `stft`: window, transform, then sum
+    /// the selected bins' magnitudes in band order.
+    fn transform_frame(&mut self, frame: &[Complex]) {
+        for (slot, (&s, &w)) in self.buf.iter_mut().zip(frame.iter().zip(self.win.iter())) {
+            *slot = s.scale(w);
+        }
+        self.plan.forward(&mut self.buf);
+        let energy: f64 = self.band_bins.iter().map(|&k| self.buf[k].abs()).sum();
+        self.energies.push(energy);
     }
 
     /// Classifies the stream and runs the global threshold/grouping

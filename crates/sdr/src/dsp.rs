@@ -4,25 +4,50 @@
 //! detector (§IV-B2) convolves the energy signal with a `[+1 … +1,
 //! −1 … −1]` kernel to mimic a derivative, then takes local maxima of
 //! the result as bit-start points.
+//!
+//! The convolution kernels here sit on **bit-pinned** paths (the
+//! streaming `ConvolveStream` equivalence suite and the receiver's
+//! edge chain), so their rewrites are restructure-only: the `_into`
+//! variants reuse caller buffers and drop per-element bounds checks,
+//! but every output accumulates its terms in the historical order and
+//! is bit-identical to the original implementation (DESIGN.md §12).
+
+use crate::scratch::{reset_f64, DspScratch};
 
 /// Full linear convolution of `signal` with `kernel`
 /// (output length `signal.len() + kernel.len() - 1`).
+/// Allocating wrapper around [`convolve_full_into`].
 pub fn convolve_full(signal: &[f64], kernel: &[f64]) -> Vec<f64> {
+    let mut out = Vec::new();
+    convolve_full_into(signal, kernel, &mut out);
+    out
+}
+
+/// [`convolve_full`] into a caller-owned buffer (cleared and
+/// refilled; no allocation after a warm-up call at the largest size).
+///
+/// Scatter form: for each input sample the kernel is swept across a
+/// contiguous output slice — an axpy the compiler vectorizes — and
+/// each output still receives its `signal[i]·kernel[j]` terms in
+/// ascending-`i` order, so results are bit-identical to the historical
+/// nested-index loop.
+pub fn convolve_full_into(signal: &[f64], kernel: &[f64], out: &mut Vec<f64>) {
+    out.clear();
     if signal.is_empty() || kernel.is_empty() {
-        return Vec::new();
+        return;
     }
     let n = signal.len() + kernel.len() - 1;
-    let mut out = vec![0.0; n];
+    out.resize(n, 0.0);
     for (i, &s) in signal.iter().enumerate() {
-        for (j, &k) in kernel.iter().enumerate() {
-            out[i + j] += s * k;
+        for (o, &r) in out[i..i + kernel.len()].iter_mut().zip(kernel) {
+            *o += s * r;
         }
     }
-    out
 }
 
 /// "Same"-size convolution: the centre `signal.len()` samples of the
 /// full convolution, so output index `i` aligns with input index `i`.
+/// Allocating wrapper around [`convolve_same_into`].
 ///
 /// Alignment convention for **even-length** kernels (which have no
 /// centre tap): output index `i` is full-convolution index
@@ -35,12 +60,29 @@ pub fn convolve_full(signal: &[f64], kernel: &[f64]) -> Vec<f64> {
 /// back to `s`), so bit-start estimates are not biased late. Centring
 /// on `k/2` instead would report every edge one sample early.
 pub fn convolve_same(signal: &[f64], kernel: &[f64]) -> Vec<f64> {
+    let mut out = Vec::new();
+    convolve_same_into(signal, kernel, &mut out, &mut DspScratch::new());
+    out
+}
+
+/// [`convolve_same`] into a caller-owned buffer. The full convolution
+/// is staged in `scratch.f0`; bit-identical to the allocating path.
+pub fn convolve_same_into(
+    signal: &[f64],
+    kernel: &[f64],
+    out: &mut Vec<f64>,
+    scr: &mut DspScratch,
+) {
+    out.clear();
     if signal.is_empty() || kernel.is_empty() {
-        return vec![0.0; signal.len()];
+        out.resize(signal.len(), 0.0);
+        return;
     }
-    let full = convolve_full(signal, kernel);
+    let mut full = std::mem::take(&mut scr.f0);
+    convolve_full_into(signal, kernel, &mut full);
     let start = (kernel.len() - 1) / 2;
-    full[start..start + signal.len()].to_vec()
+    out.extend_from_slice(&full[start..start + signal.len()]);
+    scr.f0 = full;
 }
 
 /// The paper's derivative-mimicking kernel: `l/2` ones followed by
@@ -68,25 +110,37 @@ pub fn edge_kernel(l: usize) -> Vec<f64> {
 }
 
 /// Simple moving average over a centred window of `width` samples
-/// (edges use the available partial window).
+/// (edges use the available partial window). Allocating wrapper around
+/// [`moving_average_into`].
 pub fn moving_average(signal: &[f64], width: usize) -> Vec<f64> {
+    let mut out = Vec::new();
+    moving_average_into(signal, width, &mut out, &mut DspScratch::new());
+    out
+}
+
+/// [`moving_average`] into a caller-owned buffer. The prefix-sum table
+/// is staged in `scratch.f0`; bit-identical to the allocating path.
+pub fn moving_average_into(signal: &[f64], width: usize, out: &mut Vec<f64>, scr: &mut DspScratch) {
+    out.clear();
     if width <= 1 || signal.is_empty() {
-        return signal.to_vec();
+        out.extend_from_slice(signal);
+        return;
     }
     let half = width / 2;
-    let mut out = Vec::with_capacity(signal.len());
     // prefix sums for O(n)
-    let mut prefix = Vec::with_capacity(signal.len() + 1);
-    prefix.push(0.0);
-    for &v in signal {
-        prefix.push(prefix.last().unwrap() + v);
+    reset_f64(&mut scr.f0, signal.len() + 1);
+    let prefix = &mut scr.f0;
+    let mut running = 0.0;
+    for (slot, &v) in prefix[1..].iter_mut().zip(signal) {
+        running += v;
+        *slot = running;
     }
+    out.reserve(signal.len());
     for i in 0..signal.len() {
         let lo = i.saturating_sub(half);
         let hi = (i + half + 1).min(signal.len());
         out.push((prefix[hi] - prefix[lo]) / (hi - lo) as f64);
     }
-    out
 }
 
 /// A detected local maximum.
@@ -172,13 +226,34 @@ pub fn normalize_peak(signal: &mut [f64]) -> f64 {
 }
 
 /// Keeps every `factor`-th sample, starting with the first.
+/// Allocating wrapper around [`decimate_into`].
 ///
 /// # Panics
 ///
 /// Panics if `factor` is zero.
 pub fn decimate(signal: &[f64], factor: usize) -> Vec<f64> {
+    let mut out = Vec::new();
+    decimate_into(signal, factor, &mut out);
+    out
+}
+
+/// The workspace's one stride-take kernel: keeps every `factor`-th
+/// element, starting with the first, into a caller-owned buffer.
+///
+/// This is the single home of plain downsampling; the filtering
+/// counterpart, `Fir::decimate_into`, no longer materialises and
+/// stride-takes a full filtered signal — it computes only the kept
+/// outputs directly — so the historical duplicate of this loop there
+/// is gone.
+///
+/// # Panics
+///
+/// Panics if `factor` is zero.
+pub fn decimate_into<T: Copy>(signal: &[T], factor: usize, out: &mut Vec<T>) {
     assert!(factor > 0, "decimation factor must be positive");
-    signal.iter().step_by(factor).copied().collect()
+    out.clear();
+    out.reserve(signal.len().div_ceil(factor));
+    out.extend(signal.iter().step_by(factor).copied());
 }
 
 #[cfg(test)]
@@ -344,5 +419,56 @@ mod tests {
         let x: Vec<f64> = (0..10).map(|i| i as f64).collect();
         assert_eq!(decimate(&x, 3), vec![0.0, 3.0, 6.0, 9.0]);
         assert_eq!(decimate(&x, 1), x);
+    }
+
+    #[test]
+    fn into_variants_are_bit_identical_and_reuse_buffers() {
+        let x: Vec<f64> = (0..300).map(|i| ((i * 37) % 101) as f64 - 50.0).collect();
+        let k = edge_kernel(16);
+        let mut out = Vec::new();
+        let mut scr = DspScratch::new();
+        convolve_full_into(&x, &k, &mut out);
+        assert_eq!(out, convolve_full(&x, &k));
+        convolve_same_into(&x, &k, &mut out, &mut scr);
+        assert_eq!(out, convolve_same(&x, &k));
+        moving_average_into(&x, 9, &mut out, &mut scr);
+        assert_eq!(out, moving_average(&x, 9));
+        let caps = (out.capacity(), scr.f0.capacity());
+        convolve_same_into(&x, &k, &mut out, &mut scr);
+        moving_average_into(&x, 9, &mut out, &mut scr);
+        assert_eq!(caps, (out.capacity(), scr.f0.capacity()), "steady-state must not grow");
+    }
+
+    #[test]
+    fn moving_average_handles_empty_and_single_sample_inputs() {
+        assert!(moving_average(&[], 5).is_empty());
+        assert!(moving_average(&[], 0).is_empty());
+        // A single sample is its own centred average at any width.
+        assert_eq!(moving_average(&[7.25], 1), vec![7.25]);
+        assert_eq!(moving_average(&[7.25], 2), vec![7.25]);
+        assert_eq!(moving_average(&[7.25], 99), vec![7.25]);
+        // Width larger than the signal degrades to the global mean.
+        assert_eq!(moving_average(&[1.0, 3.0], 100), vec![2.0, 2.0]);
+    }
+
+    #[test]
+    fn normalize_peak_handles_empty_and_single_sample_inputs() {
+        let mut empty: Vec<f64> = Vec::new();
+        assert_eq!(normalize_peak(&mut empty), 1.0);
+        assert!(empty.is_empty());
+        let mut one = vec![-0.5];
+        assert_eq!(normalize_peak(&mut one), 2.0);
+        assert_eq!(one, vec![-1.0]);
+        let mut zero = vec![0.0];
+        assert_eq!(normalize_peak(&mut zero), 1.0);
+        assert_eq!(zero, vec![0.0]);
+    }
+
+    #[test]
+    fn convolve_same_empty_inputs_keep_signal_length() {
+        assert!(convolve_same(&[], &[1.0, 2.0]).is_empty());
+        assert_eq!(convolve_same(&[1.0, 2.0, 3.0], &[]), vec![0.0; 3]);
+        assert!(convolve_full(&[], &[1.0]).is_empty());
+        assert!(convolve_full(&[1.0], &[]).is_empty());
     }
 }

@@ -8,6 +8,7 @@
 
 use crate::error::CaptureError;
 use crate::iq::Complex;
+use crate::simd::peak_abs;
 
 /// RTL-SDR v3 maximum reliable sample rate, samples per second (§IV-C1).
 pub const RTL_SDR_MAX_SAMPLE_RATE: f64 = 2.4e6;
@@ -152,61 +153,122 @@ impl Frontend {
     /// exact `cis` every 64 samples; the accumulated rounding drift
     /// stays at the 1e-14 level — far below the ADC's quantisation
     /// step, so quantised captures match the reference path.
+    /// Allocating wrapper around [`Frontend::digitize_into`].
     pub fn digitize(&self, analog: &[Complex]) -> Capture {
+        let mut samples = Vec::new();
+        self.digitize_into(analog, &mut samples);
+        Capture {
+            samples,
+            sample_rate: self.config.sample_rate,
+            center_freq: self.config.center_freq,
+        }
+    }
+
+    /// [`Frontend::digitize`] into a caller-owned sample buffer
+    /// (cleared and refilled; no allocation after a warm-up call at
+    /// the largest size).
+    ///
+    /// This is the digitiser's hot form: the AGC peak scan is the
+    /// lane-chunked (value-identical) [`peak_abs`], the quantiser
+    /// branch is hoisted out of the sample loop, and the fast mixer
+    /// runs per 64-sample block with its phasor in a register. Every
+    /// sample still sees the historical operation sequence, so output
+    /// is bit-identical to the pre-restructure digitiser in both
+    /// modes.
+    pub fn digitize_into(&self, analog: &[Complex], out: &mut Vec<Complex>) {
         let cfg = &self.config;
         let df = cfg.center_freq * cfg.ppm_error / 1e6;
         // AGC: scale the peak to agc_target of full scale (1.0).
-        let peak =
-            analog.iter().map(|z| z.re.abs().max(z.im.abs())).fold(0.0f64, f64::max).max(1e-30);
+        let peak = peak_abs(analog).max(1e-30);
         let gain = cfg.agc_target / peak;
-        let quant_levels =
-            if cfg.adc_bits >= 53 { None } else { Some(((1u64 << (cfg.adc_bits - 1)) - 1) as f64) };
-        let dc = Complex::new(cfg.dc_offset, cfg.dc_offset);
-        let quantize = |v: Complex| match quant_levels {
-            Some(q) => Complex::new(
-                (v.re.clamp(-1.0, 1.0) * q).round() / q,
-                (v.im.clamp(-1.0, 1.0) * q).round() / q,
-            ),
-            None => v,
+        // Quantisation rescales by a precomputed reciprocal — one
+        // rounding difference in the last ulp versus dividing by `q`,
+        // applied identically on the Fast and Exact paths so their
+        // quantised outputs stay equal bit for bit.
+        let quant_levels = if cfg.adc_bits >= 53 {
+            None
+        } else {
+            let q = ((1u64 << (cfg.adc_bits - 1)) - 1) as f64;
+            Some((q, 1.0 / q))
         };
+        let dc = Complex::new(cfg.dc_offset, cfg.dc_offset);
         const REFRESH: usize = 64;
         let phase_step = 2.0 * std::f64::consts::PI * df / cfg.sample_rate;
-        let samples: Vec<Complex> = match cfg.mode {
-            DigitizeMode::Fast => {
+        out.clear();
+        out.reserve(analog.len());
+        match (cfg.mode, quant_levels) {
+            (DigitizeMode::Fast, quant) => {
+                // In-block rotators `step^k` are precomputed once, so
+                // each sample's phasor is `anchor · pw[k]` — every
+                // sample independent of the previous one, instead of a
+                // serial `rot *= step` chain whose complex-multiply
+                // latency bounds the whole loop. The ~ulp drift of
+                // `anchor · step^k` versus the running product resets
+                // at each 64-sample re-anchor, exactly like the chain's
+                // own drift (pinned against Exact in the tests below).
                 let step = Complex::cis(phase_step);
-                let mut rot = Complex::ONE;
-                analog
-                    .iter()
-                    .enumerate()
-                    .map(|(n, &z)| {
-                        if n % REFRESH == 0 {
-                            rot = Complex::cis(phase_step * n as f64);
+                let mut pw = [Complex::new(1.0, 0.0); REFRESH];
+                for k in 1..REFRESH {
+                    pw[k] = pw[k - 1] * step;
+                }
+                let mut rot = [Complex::new(1.0, 0.0); REFRESH];
+                for (block_idx, block) in analog.chunks(REFRESH).enumerate() {
+                    // Exact re-anchor at each block start — the same
+                    // `n % 64 == 0` refresh as the per-sample loop —
+                    // then the whole block's phasors `anchor · step^k`
+                    // materialised up front: one complex multiply per
+                    // sample in the push loop instead of two.
+                    let anchor = Complex::cis(phase_step * (block_idx * REFRESH) as f64);
+                    for (r, &p) in rot.iter_mut().zip(&pw) {
+                        *r = anchor * p;
+                    }
+                    match quant {
+                        Some((q, q_inv)) => {
+                            out.extend(block.iter().zip(&rot).map(|(&z, &r)| {
+                                let v = (z * r).scale(gain) + dc;
+                                Complex::new(
+                                    (v.re.clamp(-1.0, 1.0) * q).round() * q_inv,
+                                    (v.im.clamp(-1.0, 1.0) * q).round() * q_inv,
+                                )
+                            }));
                         }
-                        let v = (z * rot).scale(gain) + dc;
-                        rot *= step;
-                        quantize(v)
-                    })
-                    .collect()
+                        None => {
+                            out.extend(
+                                block.iter().zip(&rot).map(|(&z, &r)| (z * r).scale(gain) + dc),
+                            );
+                        }
+                    }
+                }
             }
-            DigitizeMode::Exact => analog
-                .iter()
-                .enumerate()
-                .map(|(n, &z)| {
+            (DigitizeMode::Exact, quant) => {
+                let quantize = |v: Complex| match quant {
+                    Some((q, q_inv)) => Complex::new(
+                        (v.re.clamp(-1.0, 1.0) * q).round() * q_inv,
+                        (v.im.clamp(-1.0, 1.0) * q).round() * q_inv,
+                    ),
+                    None => v,
+                };
+                out.extend(analog.iter().enumerate().map(|(n, &z)| {
                     let t = n as f64 / cfg.sample_rate;
                     let v =
                         (z * Complex::cis(2.0 * std::f64::consts::PI * df * t)).scale(gain) + dc;
                     quantize(v)
-                })
-                .collect(),
-        };
-        Capture { samples, sample_rate: cfg.sample_rate, center_freq: cfg.center_freq }
+                }));
+            }
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::fft::{fft, frequency_bin};
+    use crate::fft::{frequency_bin, plan_for};
+
+    fn fft(x: &[Complex]) -> Vec<Complex> {
+        let mut buf = x.to_vec();
+        plan_for(buf.len()).forward(&mut buf);
+        buf
+    }
 
     fn tone(freq: f64, fs: f64, n: usize, amp: f64) -> Vec<Complex> {
         (0..n)
@@ -336,6 +398,26 @@ mod tests {
             / exact.samples.len() as f64)
             .sqrt();
         assert!(err < 1e-12 * rms, "mixer drift {err} vs rms {rms}");
+    }
+
+    #[test]
+    fn digitize_into_matches_digitize_and_reuses_its_buffer() {
+        let fs = 2.4e6;
+        let x = tone(100e3, fs, 10_000, 0.8);
+        for cfg in [
+            FrontendConfig::rtl_sdr_v3(1.4e6),
+            FrontendConfig::rtl_sdr_v3(1.4e6).exact(),
+            FrontendConfig::ideal(fs, 1.4e6),
+        ] {
+            let fe = Frontend::new(cfg);
+            let cap = fe.digitize(&x);
+            let mut out = Vec::new();
+            fe.digitize_into(&x, &mut out);
+            assert_eq!(out, cap.samples);
+            let capacity = out.capacity();
+            fe.digitize_into(&x, &mut out);
+            assert_eq!(out.capacity(), capacity, "steady-state must not grow");
+        }
     }
 
     #[test]

@@ -22,7 +22,11 @@
 //! - [`record`]: the `rtl_sdr` interleaved-u8 capture format, so the
 //!   pipeline also runs against real dongle recordings,
 //! - [`goertzel`]: block-wise single-bin evaluation (an alternative
-//!   to the sliding DFT for tone tracking).
+//!   to the sliding DFT for tone tracking),
+//! - [`scratch`]: the [`scratch::DspScratch`] buffer arena behind the
+//!   allocation-free `_into` kernel variants,
+//! - [`simd`]: lane-chunked (autovectorizable) reductions with exact
+//!   scalar oracles.
 //!
 //! # Examples
 //!
@@ -59,6 +63,8 @@ pub mod impair;
 pub mod iq;
 pub mod mix;
 pub mod record;
+pub mod scratch;
+pub mod simd;
 pub mod sliding;
 pub mod spectrum;
 pub mod stats;
@@ -69,3 +75,4 @@ pub mod window;
 pub use error::{CaptureError, StatsError};
 pub use frontend::{Capture, Frontend, FrontendConfig};
 pub use iq::Complex;
+pub use scratch::DspScratch;

@@ -18,6 +18,7 @@
 use crate::error::CaptureError;
 use crate::fft::frequency_bin;
 use crate::iq::Complex;
+use crate::scratch::{reset_complex, DspScratch};
 
 /// Tracks the complex value of selected DFT bins over a sliding
 /// rectangular window of `M` samples.
@@ -145,20 +146,137 @@ impl SlidingDft {
     fn refresh(&mut self) {
         self.since_refresh = 0;
         let w = self.window;
-        // Ring order: ring[head] is the oldest sample (index 0 of the window).
-        for (bi, slot) in self.values.iter_mut().enumerate() {
-            let tw = &self.refresh_twiddles[bi * w..(bi + 1) * w];
-            let mut acc = Complex::ZERO;
-            let mut m = 0;
-            for &x in &self.ring[self.head..] {
-                acc += x * tw[m];
+        // Ring order: ring[head] is the oldest sample (index 0 of the
+        // window). Bins interleave at each `m` so the independent
+        // accumulator chains overlap in the pipeline; each bin's own
+        // `acc += x · tw[m]` sequence — and therefore every result
+        // bit — is unchanged from a bin-at-a-time walk.
+        for v in self.values.iter_mut() {
+            *v = Complex::ZERO;
+        }
+        let tw = &self.refresh_twiddles[..];
+        let mut m = 0;
+        for run in [&self.ring[self.head..], &self.ring[..self.head]] {
+            for &x in run {
+                for (bi, v) in self.values.iter_mut().enumerate() {
+                    *v += x * tw[bi * w + m];
+                }
                 m += 1;
             }
-            for &x in &self.ring[..self.head] {
-                acc += x * tw[m];
-                m += 1;
+        }
+    }
+
+    /// Advances the tracker over a whole block of (already finite)
+    /// samples, appending one Eq. (1) energy value — the bin-order
+    /// [`SlidingDft::magnitude_sum`] fold — for every primed position
+    /// on the `decimation` grid, exactly as a
+    /// [`SlidingDft::push`]-per-sample loop would.
+    ///
+    /// **Bit-identical by construction** (the chunk-equivalence suite
+    /// pins it): each step replays exactly `push`'s bin-interleaved
+    /// `((v + x) − oldest) · r` update, and the emitted sums still
+    /// fold `|F[k]|` in bin order from `0.0`; the independent per-bin
+    /// chains overlap in the pipeline, so the block walk costs roughly
+    /// one complex-multiply *throughput* (not latency) per bin per
+    /// sample. Evicted samples are snapshotted from the ring into
+    /// `scratch.c0` before the run overwrites it. Exact re-summation
+    /// still fires every `window`-th push via the unchanged
+    /// [`refresh`](Self::push) path.
+    ///
+    /// The decimation grid is anchored at the priming sample: an
+    /// output is emitted after push number `s` (counted from the
+    /// tracker's birth) iff `s ≥ window` and
+    /// `(s − window) % decimation == 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `decimation` is zero.
+    pub fn process_into(
+        &mut self,
+        chunk: &[Complex],
+        decimation: usize,
+        out: &mut Vec<f64>,
+        scr: &mut DspScratch,
+    ) {
+        assert!(decimation > 0, "decimation must be positive");
+        let w = self.window;
+        let mut consumed = 0usize;
+        while consumed < chunk.len() {
+            // Pushes until (and including) the next exact re-summation.
+            let steps_to_refresh = w - self.since_refresh;
+            let run = (chunk.len() - consumed).min(steps_to_refresh);
+            let refreshes = run == steps_to_refresh;
+            // The refresh push replaces its incremental update.
+            let inc = if refreshes { run - 1 } else { run };
+            let block = &chunk[consumed..consumed + run];
+            consumed += run;
+
+            // Snapshot the samples each push will evict (ring slot
+            // (head + t) mod w is read at step t and first written at
+            // step t, so gathering all of them up front is exact),
+            // then write the whole run into the ring.
+            reset_complex(&mut scr.c0, inc);
+            let first = (w - self.head).min(inc);
+            scr.c0[..first].copy_from_slice(&self.ring[self.head..self.head + first]);
+            scr.c0[first..].copy_from_slice(&self.ring[..inc - first]);
+            let first = (w - self.head).min(run);
+            self.ring[self.head..self.head + first].copy_from_slice(&block[..first]);
+            self.ring[..run - first].copy_from_slice(&block[first..]);
+            self.head = (self.head + run) % w;
+
+            // Emission schedule over the incremental steps: local step
+            // t corresponds to push number seen0 + t + 1.
+            let seen0 = self.seen;
+            let first_emit = {
+                let t_prime = w.saturating_sub(seen0 + 1);
+                if t_prime >= inc {
+                    usize::MAX
+                } else {
+                    let phase = (seen0 + t_prime + 1 - w) % decimation;
+                    let t = t_prime + (decimation - phase) % decimation;
+                    if t < inc {
+                        t
+                    } else {
+                        usize::MAX
+                    }
+                }
+            };
+            let out_base = out.len();
+            if first_emit != usize::MAX {
+                let emits = (inc - 1 - first_emit) / decimation + 1;
+                out.resize(out_base + emits, 0.0);
             }
-            *slot = acc;
+
+            // Bin-interleaved replay: each step applies the same
+            // `((v + x) − oldest) · r` update per bin as `push`, so the
+            // per-bin floating-point sequence is unchanged, while the
+            // independent bin chains overlap in the pipeline instead of
+            // serialising one bin's multiply-latency chain at a time.
+            let (values, rotators) = (&mut self.values[..], &self.rotators[..]);
+            let mut next = first_emit;
+            let mut slot = out_base;
+            for (t, (&x, &old)) in block[..inc].iter().zip(&scr.c0[..inc]).enumerate() {
+                for (v, &r) in values.iter_mut().zip(rotators) {
+                    *v = (*v + x - old) * r;
+                }
+                if t == next {
+                    // Bin-order fold from 0.0 — exactly `magnitude_sum`.
+                    out[slot] = values.iter().map(|v| v.abs()).sum();
+                    slot += 1;
+                    next = next.saturating_add(decimation);
+                }
+            }
+            self.seen += inc;
+            self.since_refresh += inc;
+
+            if refreshes {
+                self.seen += 1;
+                self.since_refresh += 1;
+                self.refresh();
+                if self.seen >= w && (self.seen - w).is_multiple_of(decimation) {
+                    out.push(self.magnitude_sum());
+                }
+            }
         }
     }
 
@@ -213,16 +331,33 @@ pub fn energy_signal(
     bins: &[usize],
     decimation: usize,
 ) -> Vec<f64> {
+    let mut out = Vec::with_capacity(samples.len().saturating_sub(window) / decimation + 1);
+    energy_signal_into(samples, window, bins, decimation, &mut out, &mut DspScratch::new());
+    out
+}
+
+/// [`energy_signal`] into a caller-owned buffer, via the blocked
+/// [`SlidingDft::process_into`] path (bit-identical to a
+/// push-per-sample loop). The `SlidingDft` tables are still built per
+/// call; hold a [`SlidingDft`] (or an [`crate::stream::EnergyStream`])
+/// across captures for fully allocation-free steady state.
+///
+/// # Panics
+///
+/// Panics if `decimation` is zero (see [`SlidingDft::new`] for the
+/// window/bin preconditions).
+pub fn energy_signal_into(
+    samples: &[Complex],
+    window: usize,
+    bins: &[usize],
+    decimation: usize,
+    out: &mut Vec<f64>,
+    scr: &mut DspScratch,
+) {
     assert!(decimation > 0, "decimation must be positive");
     let mut sdft = SlidingDft::new(window, bins);
-    let mut out = Vec::with_capacity(samples.len().saturating_sub(window) / decimation + 1);
-    for (n, &x) in samples.iter().enumerate() {
-        sdft.push(x);
-        if sdft.is_primed() && (n + 1 - window).is_multiple_of(decimation) {
-            out.push(sdft.magnitude_sum());
-        }
-    }
-    out
+    out.clear();
+    sdft.process_into(samples, decimation, out, scr);
 }
 
 /// Result of [`try_energy_signal`]: the energy samples plus how many
@@ -297,7 +432,7 @@ pub fn try_energy_signal(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::fft::fft;
+    use crate::fft::plan_for;
 
     /// Direct windowed DFT of the window ending at sample `end`
     /// (inclusive), for cross-checking the recursion.
@@ -349,7 +484,8 @@ mod tests {
         for &x in &samples {
             sdft.push(x);
         }
-        let spectrum = fft(&samples);
+        let mut spectrum = samples.clone();
+        plan_for(spectrum.len()).forward(&mut spectrum);
         assert!((sdft.values()[0] - spectrum[3]).abs() < 1e-8);
         assert!((sdft.values()[1] - spectrum[17]).abs() < 1e-8);
     }
@@ -403,6 +539,45 @@ mod tests {
         // Decimated values are a strict subsequence of the full ones.
         for (i, &v) in dec.iter().enumerate() {
             assert!((v - full[i * 8]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn process_into_is_bit_identical_to_push_per_sample() {
+        let samples = chirpy_signal(3001);
+        for (window, decimation) in [(64usize, 1usize), (64, 7), (128, 24), (1, 1), (3, 2)] {
+            let bins: Vec<usize> =
+                [0usize, 5, 31].iter().copied().filter(|&k| k < window).collect();
+            // Reference: the per-sample push loop.
+            let mut reference_sdft = SlidingDft::new(window, &bins);
+            let mut reference = Vec::new();
+            for (n, &x) in samples.iter().enumerate() {
+                reference_sdft.push(x);
+                if reference_sdft.is_primed() && (n + 1 - window).is_multiple_of(decimation) {
+                    reference.push(reference_sdft.magnitude_sum());
+                }
+            }
+            // Blocked path at awkward chunk boundaries.
+            for chunk in [1usize, 7, 63, 64, 65, 1000, usize::MAX] {
+                let mut sdft = SlidingDft::new(window, &bins);
+                let mut scr = DspScratch::new();
+                let mut got = Vec::new();
+                for c in samples.chunks(chunk.min(samples.len())) {
+                    sdft.process_into(c, decimation, &mut got, &mut scr);
+                }
+                assert_eq!(got.len(), reference.len(), "w={window} d={decimation} c={chunk}");
+                for (i, (a, b)) in got.iter().zip(&reference).enumerate() {
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "w={window} d={decimation} c={chunk} out={i}"
+                    );
+                }
+                for (a, b) in sdft.values().iter().zip(reference_sdft.values()) {
+                    assert_eq!(a.re.to_bits(), b.re.to_bits());
+                    assert_eq!(a.im.to_bits(), b.im.to_bits());
+                }
+            }
         }
     }
 

@@ -6,6 +6,7 @@
 
 use crate::fft::{bin_frequency, plan_for};
 use crate::iq::Complex;
+use crate::scratch::DspScratch;
 use crate::window::Window;
 
 /// A power-spectral-density estimate over FFT bins.
@@ -114,6 +115,53 @@ pub fn welch_psd(samples: &[Complex], sample_rate: f64, fft_size: usize, window:
     Psd { power: acc, sample_rate, segments }
 }
 
+/// Welch's method for **real-valued** signals (an energy trace, a VRM
+/// rail voltage, an audio-rate dump): same segmentation, windowing and
+/// normalisation as [`welch_psd`], but each segment goes through the
+/// half-size real-input FFT ([`crate::fft::FftPlan::forward_real_into`])
+/// instead of a promoted complex transform — roughly half the
+/// butterfly work for a spectrum that is conjugate-symmetric anyway.
+///
+/// Matches `welch_psd` on the promoted complex signal to better than
+/// −120 dB (pinned in tests); the per-bin layout (including the
+/// redundant upper half) is identical so every [`Psd`] helper behaves
+/// the same.
+///
+/// # Panics
+///
+/// Panics if `fft_size` is not a power of two or the capture is
+/// shorter than one segment.
+pub fn welch_psd_real(samples: &[f64], sample_rate: f64, fft_size: usize, window: Window) -> Psd {
+    assert!(fft_size.is_power_of_two(), "fft_size must be a power of two");
+    assert!(samples.len() >= fft_size, "capture shorter than one segment");
+    let hop = fft_size / 2;
+    let plan = plan_for(fft_size);
+    let win = window.coefficients(fft_size);
+    let win_power: f64 = win.iter().map(|w| w * w).sum::<f64>() / fft_size as f64;
+    let mut acc = vec![0.0f64; fft_size];
+    let mut segments = 0;
+    let mut start = 0;
+    let mut scr = DspScratch::new();
+    let mut frame = vec![0.0f64; fft_size];
+    let mut spec: Vec<Complex> = Vec::new();
+    while start + fft_size <= samples.len() {
+        for ((slot, &x), &w) in frame.iter_mut().zip(&samples[start..start + fft_size]).zip(&win) {
+            *slot = x * w;
+        }
+        plan.forward_real_into(&frame, &mut spec, &mut scr);
+        for (a, z) in acc.iter_mut().zip(&spec) {
+            *a += z.norm_sqr();
+        }
+        segments += 1;
+        start += hop;
+    }
+    let norm = (segments as f64) * (fft_size as f64).powi(2) * win_power;
+    for a in &mut acc {
+        *a /= norm;
+    }
+    Psd { power: acc, sample_rate, segments }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -192,5 +240,43 @@ mod tests {
     #[should_panic(expected = "shorter")]
     fn short_capture_panics() {
         welch_psd(&[Complex::ZERO; 100], 1.0, 256, Window::Hann);
+    }
+
+    #[test]
+    fn real_input_path_matches_promoted_complex_path() {
+        // Deterministic real "trace": a couple of tones plus pseudo-noise.
+        let mut state = 0x9e37u64;
+        let x: Vec<f64> = (0..8192)
+            .map(|i| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                let noise = (state % 1000) as f64 / 1000.0 - 0.5;
+                (0.031 * i as f64).sin() + 0.4 * (0.27 * i as f64).cos() + 0.1 * noise
+            })
+            .collect();
+        let promoted: Vec<Complex> = x.iter().map(|&v| Complex::new(v, 0.0)).collect();
+        for window in [Window::Rectangular, Window::Hann, Window::Blackman] {
+            let real = welch_psd_real(&x, 1.0, 256, window);
+            let complex = welch_psd(&promoted, 1.0, 256, window);
+            assert_eq!(real.segments(), complex.segments());
+            assert_eq!(real.bins(), complex.bins());
+            let total: f64 = (0..complex.bins()).map(|k| complex.power(k)).sum();
+            for k in 0..complex.bins() {
+                let err = (real.power(k) - complex.power(k)).abs();
+                assert!(
+                    err <= 1e-12 * total,
+                    "bin {k}: real {} vs complex {}",
+                    real.power(k),
+                    complex.power(k)
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "shorter")]
+    fn short_real_capture_panics() {
+        welch_psd_real(&[0.0; 100], 1.0, 256, Window::Hann);
     }
 }

@@ -8,6 +8,7 @@
 //! histogram and places the decision threshold halfway between them.
 
 use crate::error::StatsError;
+use crate::scratch::{reset_f64, DspScratch};
 
 /// A fixed-width histogram over `[min, max]`.
 #[derive(Debug, Clone, PartialEq)]
@@ -173,13 +174,23 @@ pub fn quantile(data: &[f64], q: f64) -> f64 {
 /// Fallible [`quantile`]: reports empty data and out-of-range `q` as
 /// typed errors instead of panicking.
 pub fn try_quantile(data: &[f64], q: f64) -> Result<f64, StatsError> {
+    try_quantile_with(data, q, &mut DspScratch::new())
+}
+
+/// [`try_quantile`] with the sorted copy staged in `scratch.f0`
+/// instead of a fresh allocation — after a warm-up call at the
+/// largest data size, repeated quantiles (the per-capture threshold
+/// selection) allocate nothing. Bit-identical to the allocating path.
+pub fn try_quantile_with(data: &[f64], q: f64, scr: &mut DspScratch) -> Result<f64, StatsError> {
     if !(0.0..=1.0).contains(&q) {
         return Err(StatsError::InvalidQuantile);
     }
     if data.is_empty() {
         return Err(StatsError::EmptyData);
     }
-    let mut sorted = data.to_vec();
+    reset_f64(&mut scr.f0, data.len());
+    let sorted = &mut scr.f0[..];
+    sorted.copy_from_slice(data);
     sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
     let pos = q * (sorted.len() - 1) as f64;
     let lo = pos.floor() as usize;
@@ -335,6 +346,23 @@ impl RayleighFit {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn quantile_with_scratch_matches_and_reuses_buffer() {
+        let data: Vec<f64> = (0..500).map(|i| ((i * 271) % 499) as f64 * 0.013 - 3.0).collect();
+        let mut scr = DspScratch::new();
+        for q in [0.0, 0.25, 0.5, 0.77, 1.0] {
+            assert_eq!(
+                try_quantile_with(&data, q, &mut scr).unwrap().to_bits(),
+                try_quantile(&data, q).unwrap().to_bits()
+            );
+        }
+        let cap = scr.f0.capacity();
+        try_quantile_with(&data, 0.5, &mut scr).unwrap();
+        assert_eq!(scr.f0.capacity(), cap, "steady-state must not grow");
+        assert!(try_quantile_with(&[], 0.5, &mut scr).is_err());
+        assert!(try_quantile_with(&data, 1.5, &mut scr).is_err());
+    }
 
     #[test]
     fn histogram_counts_land_in_right_bins() {

@@ -28,6 +28,7 @@ use std::io::{self, Read};
 use crate::error::CaptureError;
 use crate::iq::Complex;
 use crate::record::RtlChunkReader;
+use crate::scratch::DspScratch;
 use crate::sliding::SlidingDft;
 
 /// Incremental Eq. (1) energy signal: feeds a [`SlidingDft`] sample by
@@ -47,6 +48,10 @@ pub struct EnergyStream {
     decimation: usize,
     seen: usize,
     sanitized: usize,
+    /// Reused by the blocked DFT advance (and, when a chunk contains
+    /// non-finite samples, for the sanitized copy in `c1`); steady
+    /// state allocates nothing.
+    scratch: DspScratch,
 }
 
 impl EnergyStream {
@@ -64,28 +69,34 @@ impl EnergyStream {
             return Err(CaptureError::InvalidConfig("decimation must be positive"));
         }
         let sdft = SlidingDft::try_new(window, bins)?;
-        Ok(EnergyStream { sdft, decimation, seen: 0, sanitized: 0 })
+        Ok(EnergyStream { sdft, decimation, seen: 0, sanitized: 0, scratch: DspScratch::new() })
     }
 
     /// Feeds one chunk, appending any newly-completed energy samples
     /// to `out`. Returns how many were appended. Alloc-free apart from
-    /// `out`'s amortised growth.
+    /// `out`'s amortised growth (after a warm-up chunk at the largest
+    /// size; the common all-finite case runs straight off the caller's
+    /// slice via the blocked [`SlidingDft::process_into`]).
     pub fn push_into(&mut self, chunk: &[Complex], out: &mut Vec<f64>) -> usize {
         let before = out.len();
-        let window = self.sdft.window();
-        for &x in chunk {
-            let clean = if x.re.is_finite() && x.im.is_finite() {
-                x
-            } else {
-                self.sanitized += 1;
-                Complex::ZERO
-            };
-            self.sdft.push(clean);
-            self.seen += 1;
-            if self.sdft.is_primed() && (self.seen - window).is_multiple_of(self.decimation) {
-                out.push(self.sdft.magnitude_sum());
-            }
+        let finite = |x: &Complex| x.re.is_finite() && x.im.is_finite();
+        if chunk.iter().all(finite) {
+            self.sdft.process_into(chunk, self.decimation, out, &mut self.scratch);
+        } else {
+            let mut clean = std::mem::take(&mut self.scratch.c1);
+            clean.clear();
+            clean.extend(chunk.iter().map(|x| {
+                if finite(x) {
+                    *x
+                } else {
+                    self.sanitized += 1;
+                    Complex::ZERO
+                }
+            }));
+            self.sdft.process_into(&clean, self.decimation, out, &mut self.scratch);
+            self.scratch.c1 = clean;
         }
+        self.seen += chunk.len();
         out.len() - before
     }
 

@@ -1,7 +1,7 @@
 //! Property-based tests for the DSP substrate.
 
 use emsc_sdr::dsp::{convolve_full, decimate, moving_average};
-use emsc_sdr::fft::{fft, ifft, FftPlan};
+use emsc_sdr::fft::{plan_for, FftPlan};
 use emsc_sdr::fir::Fir;
 use emsc_sdr::goertzel::Goertzel;
 use emsc_sdr::iq::Complex;
@@ -9,6 +9,20 @@ use emsc_sdr::sliding::SlidingDft;
 use emsc_sdr::stats::{mean, median, quantile, Histogram};
 use emsc_sdr::window::Window;
 use proptest::prelude::*;
+
+/// Out-of-place transforms over the cached plan (the free `fft`/`ifft`
+/// helpers are deprecated in favour of plan reuse).
+fn fft(x: &[Complex]) -> Vec<Complex> {
+    let mut buf = x.to_vec();
+    plan_for(x.len()).forward(&mut buf);
+    buf
+}
+
+fn ifft(x: &[Complex]) -> Vec<Complex> {
+    let mut buf = x.to_vec();
+    plan_for(x.len()).inverse(&mut buf);
+    buf
+}
 
 fn complex_vec(len: usize) -> impl Strategy<Value = Vec<Complex>> {
     prop::collection::vec(

@@ -1,0 +1,119 @@
+//! Allocation-count regression test for the streaming receive chain.
+//!
+//! A counting global allocator (the same harness `perf_report` uses)
+//! watches the steady-state push path: once the grow-only buffers have
+//! warmed up, pushing chunks through the DSP front end with a
+//! caller-owned output buffer must not touch the heap at all, and the
+//! full covert receiver may only pay the rare amortised doubling of
+//! its accumulated energy/edge vectors.
+//!
+//! This file holds exactly one `#[test]`: the allocation counter is
+//! process-global, so a second concurrently-running test in the same
+//! binary would pollute the measurement.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use emsc_covert::rx::RxConfig;
+use emsc_covert::stream::StreamingReceiver;
+use emsc_sdr::stream::EnergyStream;
+use emsc_sdr::Complex;
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Heap allocations so far (monotonic).
+fn allocations() -> usize {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// On-off-keyed capture samples at the corpus tuning, with a
+/// deterministic xorshift noise floor — the same shape as
+/// `perf_report`'s streaming bench input.
+fn ook_samples(n: usize) -> Vec<Complex> {
+    let bit_samples = 600; // 250 us at 2.4 Msps
+    let mut state = 0x2020_u64;
+    (0..n)
+        .map(|i| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let noise = ((state & 0xFFFF) as f64 / 65535.0 - 0.5) * 0.05;
+            let amp = if (i / bit_samples) % 2 == 0 { 0.5 } else { 0.02 };
+            Complex::new(amp + noise, noise)
+        })
+        .collect()
+}
+
+#[test]
+fn steady_state_streaming_is_allocation_free() {
+    let samples = ook_samples(600_000);
+    let chunks: Vec<&[Complex]> = samples.chunks(16 * 1024).collect();
+    let warm = chunks.len() / 2;
+    let measured = chunks.len() - warm;
+
+    // 1. The DSP-layer chain with a caller-owned, reused output
+    //    buffer: strictly zero heap traffic once warmed up. This is
+    //    the contract DESIGN.md's scratch-buffer API promises for
+    //    every `_into` kernel.
+    let mut es = EnergyStream::new(64, &[0, 1, 5], 24).expect("valid stream config");
+    let mut out = Vec::new();
+    for c in &chunks[..warm] {
+        out.clear();
+        es.push_into(c, &mut out);
+    }
+    let before = allocations();
+    for c in &chunks[warm..] {
+        out.clear();
+        es.push_into(c, &mut out);
+    }
+    let es_allocs = allocations() - before;
+    assert_eq!(es_allocs, 0, "EnergyStream::push_into allocated {es_allocs}x in steady state");
+
+    // 2. The full covert receiver accumulates its decimated
+    //    energy/edge history across the stream, so Vec doubling may
+    //    still fire on a rare chunk; everything per-chunk (mixer,
+    //    FIR, sliding DFT, smoothing, edge convolution) must be free.
+    let mut rx = StreamingReceiver::new(RxConfig::new(250e3, 250e-6), 2.4e6, 250e3)
+        .expect("valid receiver config");
+    for c in &chunks[..warm] {
+        rx.push(c);
+    }
+    let mut total = 0usize;
+    let mut alloc_chunks = 0usize;
+    for c in &chunks[warm..] {
+        let b = allocations();
+        rx.push(c);
+        let d = allocations() - b;
+        total += d;
+        alloc_chunks += usize::from(d > 0);
+    }
+    assert!(
+        (total as f64) < 0.25 * measured as f64,
+        "streaming receiver: {total} allocations over {measured} chunks"
+    );
+    assert!(
+        alloc_chunks * 4 <= measured,
+        "{alloc_chunks}/{measured} chunks allocated — expected only rare amortised growth"
+    );
+}
