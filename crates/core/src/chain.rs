@@ -114,7 +114,12 @@ impl Chain {
         self.finish(trace, seed)
     }
 
-    fn finish(&self, trace: PowerTrace, seed: u64) -> ChainRun {
+    /// The staged reference chain: materialise the full analog
+    /// waveform, then digitise it in a second sweep. Bit-identical to
+    /// the fused path — kept as the oracle the equivalence tests and
+    /// the `perf_report` fused section compare against; everything
+    /// else should use [`Chain::run_trace`].
+    pub fn run_trace_staged(&self, trace: PowerTrace, seed: u64) -> ChainRun {
         let trace = match self.blinking {
             Some(b) => trace.with_blinking(b.period_s, b.duty, b.level_a),
             None => trace,
@@ -123,6 +128,12 @@ impl Chain {
         let analog = self.scene.render(&train, seed);
         let capture = Frontend::new(self.frontend.clone()).digitize(&analog);
         ChainRun { trace, train, capture }
+    }
+
+    fn finish(&self, trace: PowerTrace, seed: u64) -> ChainRun {
+        // Fused blockwise path (see `crate::fused`): same stages, one
+        // cache-resident pass per block, bit-identical output.
+        crate::fused::ChainStream::new(self, trace, seed).into_run()
     }
 }
 

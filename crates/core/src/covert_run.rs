@@ -3,6 +3,7 @@
 use emsc_covert::frame::{deframe, Deframed, FrameConfig};
 use emsc_covert::metrics::{align_semiglobal, Alignment};
 use emsc_covert::rx::{Receiver, RxConfig, RxError, RxReport};
+use emsc_covert::stream::StreamingReceiver;
 use emsc_covert::tx::{Transmitter, TxConfig};
 use emsc_pmu::workload::Program;
 use emsc_sdr::impair::{apply_all, Impairment};
@@ -43,6 +44,36 @@ pub struct CovertOutcome {
 }
 
 impl CovertOutcome {
+    /// Whether the exact payload was recovered.
+    pub fn recovered(&self, payload: &[u8]) -> bool {
+        self.deframed.as_ref().is_some_and(|d| d.payload == payload)
+    }
+}
+
+/// The scoring of a fully streamed covert transfer
+/// ([`CovertScenario::run_streamed`]): every received-side metric of
+/// [`CovertOutcome`], without the materialised capture or the
+/// intermediate chain stages — the capture never existed as one
+/// buffer, it was digitised block by block straight into the
+/// streaming receiver.
+#[derive(Debug, Clone)]
+pub struct CovertStreamedOutcome {
+    /// The bits that went on the air (framed and coded).
+    pub tx_bits: Vec<u8>,
+    /// The receiver's full report (energy signal, timings, bits, …).
+    pub report: RxReport,
+    /// Semi-global alignment of transmitted vs. received bits.
+    pub alignment: Alignment,
+    /// Deframed payload, if the marker was found.
+    pub deframed: Option<Deframed>,
+    /// Measured transmission rate: on-air bits over the time they took.
+    pub transmission_rate_bps: f64,
+    /// Why the receiver failed, when it did (see
+    /// [`CovertOutcome::rx_error`]).
+    pub rx_error: Option<RxError>,
+}
+
+impl CovertStreamedOutcome {
     /// Whether the exact payload was recovered.
     pub fn recovered(&self, payload: &[u8]) -> bool {
         self.deframed.as_ref().is_some_and(|d| d.payload == payload)
@@ -142,6 +173,59 @@ impl CovertScenario {
         }
     }
 
+    /// [`CovertScenario::run`] without ever materialising the capture:
+    /// the fused chain ([`Chain::stream_trace`]) digitises block by
+    /// block into the chunk-oblivious [`StreamingReceiver`], so the
+    /// run's peak resident sample count is the analog arena plus one
+    /// block instead of analog + capture. Bit-identical metrics to the
+    /// unimpaired batch path for the same `(payload, seed)`.
+    pub fn run_streamed(&self, payload: &[u8], seed: u64) -> CovertStreamedOutcome {
+        let transmitter = Transmitter::new(self.tx);
+        let tx_bits = transmitter.on_air_bits(payload);
+
+        let mut program = Program::new();
+        program.sleep(LEAD_SILENCE_S);
+        program.busy(self.chain.machine.iterations_for_duration(WARMUP_S));
+        program.extend(transmitter.program_for_bits(&tx_bits).ops().iter().copied());
+        program.sleep(LEAD_SILENCE_S);
+
+        let mut stream = self.chain.stream_program(&program, seed);
+        let sample_rate = self.chain.frontend.sample_rate;
+        let center_freq = self.chain.frontend.center_freq;
+        // Decode failures degrade to the empty report exactly as in
+        // the batch path, whether they surface at construction (bad
+        // config / rate / carrier) or at finish.
+        let (report, rx_error) =
+            match StreamingReceiver::new(self.rx.clone(), sample_rate, center_freq) {
+                Ok(mut receiver) => {
+                    while let Some(block) = stream.next_block() {
+                        receiver.push(block);
+                    }
+                    match receiver.finish() {
+                        Ok(r) => (r, None),
+                        Err(e) => (RxReport::empty(0.0), Some(e)),
+                    }
+                }
+                Err(e) => (RxReport::empty(0.0), Some(e)),
+            };
+        let (trace, _train) = stream.into_trace_train();
+        let alignment = align_semiglobal(&tx_bits, &report.bits);
+        let deframed = deframe(&report.bits, self.tx.frame, 1);
+
+        let air_time = trace.duration_s() - 2.0 * LEAD_SILENCE_S - WARMUP_S;
+        let transmission_rate_bps =
+            if air_time > 0.0 { tx_bits.len() as f64 / air_time } else { 0.0 };
+
+        CovertStreamedOutcome {
+            tx_bits,
+            report,
+            alignment,
+            deframed,
+            transmission_rate_bps,
+            rx_error,
+        }
+    }
+
     /// Transmits a raw, already-framed bit sequence (e.g. the output
     /// of [`emsc_covert::packets::packetize`]) and returns the
     /// demodulated bits plus the receiver report. No deframing is
@@ -190,6 +274,22 @@ mod tests {
         // long-stream Table II numbers.
         assert!(outcome.alignment.ber() < 0.06, "BER {}", outcome.alignment.ber());
         assert!(outcome.rx_error.is_none(), "unexpected decode failure: {:?}", outcome.rx_error);
+    }
+
+    #[test]
+    fn streamed_run_matches_batch_run_metrics() {
+        let laptop = Laptop::dell_inspiron();
+        let chain = Chain::new(&laptop, Setup::NearField);
+        let scenario = CovertScenario::for_laptop(&laptop, chain);
+        let payload = b"streamed==batch";
+        let batch = scenario.run(payload, 31);
+        let streamed = scenario.run_streamed(payload, 31);
+        assert_eq!(streamed.tx_bits, batch.tx_bits);
+        assert_eq!(streamed.report.bits, batch.report.bits);
+        assert_eq!(streamed.alignment.ber().to_bits(), batch.alignment.ber().to_bits());
+        assert_eq!(streamed.transmission_rate_bps.to_bits(), batch.transmission_rate_bps.to_bits());
+        assert!(streamed.recovered(payload));
+        assert!(streamed.rx_error.is_none());
     }
 
     #[test]

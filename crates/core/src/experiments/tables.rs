@@ -111,7 +111,9 @@ fn channel_cell(
     run: usize,
 ) -> RunStats {
     let payload = pseudo_payload(payload_bytes, seed + run as u64);
-    let outcome = scenario.run(&payload, seed + 1000 * run as u64);
+    // Fused streamed run: identical metrics to `scenario.run`, without
+    // materialising the cell's multi-megabyte capture.
+    let outcome = scenario.run_streamed(&payload, seed + 1000 * run as u64);
     RunStats {
         ber: outcome.alignment.ber(),
         tr_bps: outcome.transmission_rate_bps,

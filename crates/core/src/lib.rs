@@ -7,6 +7,8 @@
 //!
 //! - [`laptop`]: the six Table I laptops as presets,
 //! - [`chain`]: the full signal chain (program → … → I/Q capture),
+//! - [`fused`]: the fused blockwise TX chain behind it (cache-resident
+//!   synth→AWGN→digitise, streamable block by block),
 //! - [`covert_run`]: covert-channel transfers with BER/IP/DP scoring,
 //! - [`keylog_run`]: keylogging runs with TPR/FPR and word scoring,
 //! - [`fingerprint_run`]: the §III website-fingerprinting extension,
@@ -39,14 +41,16 @@ pub mod countermeasure;
 pub mod covert_run;
 pub mod experiments;
 pub mod fingerprint_run;
+pub mod fused;
 pub mod keylog_run;
 pub mod laptop;
 pub mod session;
 
 pub use chain::{Chain, ChainRun, Setup};
 pub use countermeasure::Countermeasure;
-pub use covert_run::{CovertOutcome, CovertScenario};
+pub use covert_run::{CovertOutcome, CovertScenario, CovertStreamedOutcome};
 pub use fingerprint_run::{FingerprintOutcome, FingerprintScenario};
+pub use fused::{ChainStream, FUSED_BLOCK};
 pub use keylog_run::{KeylogOutcome, KeylogScenario};
 pub use laptop::{Laptop, Microarch, Os};
 pub use session::{

@@ -9,6 +9,8 @@
 //! comb of harmonics from its own switching fundamental, plus additive
 //! white Gaussian thermal noise.
 
+use std::sync::OnceLock;
+
 use emsc_sdr::iq::Complex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -43,6 +45,24 @@ impl Interferer {
     /// `center_freq` at `sample_rate`), with a deterministic per-
     /// harmonic starting phase derived from `seed`.
     pub fn add_to(&self, buf: &mut [Complex], sample_rate: f64, center_freq: f64, seed: u64) {
+        self.add_to_window(buf, sample_rate, center_freq, seed, 0);
+    }
+
+    /// [`Interferer::add_to`] for the window of the capture beginning
+    /// at absolute sample `start`: each sample's phase is the
+    /// *positional* `phase0 + step · n` for its absolute index `n`, so
+    /// any window decomposition reproduces the whole-buffer comb bit
+    /// for bit. The per-harmonic `phase0` draw happens only for
+    /// in-band harmonics (out-of-band harmonics consume no RNG draws),
+    /// exactly as the whole-buffer path always has.
+    pub fn add_to_window(
+        &self,
+        buf: &mut [Complex],
+        sample_rate: f64,
+        center_freq: f64,
+        seed: u64,
+        start: usize,
+    ) {
         let mut rng = StdRng::seed_from_u64(seed ^ (self.fundamental_hz.to_bits()));
         for h in 1..=self.harmonics {
             let f_rf = self.fundamental_hz * h as f64;
@@ -53,14 +73,25 @@ impl Interferer {
             let amp = self.amplitude * self.rolloff.powi(h as i32 - 1);
             let phase0: f64 = rng.gen::<f64>() * 2.0 * std::f64::consts::PI;
             let step = 2.0 * std::f64::consts::PI * f_bb / sample_rate;
-            let mut phase = phase0;
-            for slot in buf.iter_mut() {
+            for (k, slot) in buf.iter_mut().enumerate() {
+                let phase = phase0 + step * (start + k) as f64;
                 *slot += Complex::from_polar(amp, phase);
-                phase += step;
             }
         }
     }
 }
+
+/// Samples per AWGN seeding block: the noise stream is defined on a
+/// fixed grid of `AWGN_BLOCK`-sample blocks, block `b` drawing its
+/// samples from a fresh xoshiro256++ stream positionally sub-seeded by
+/// `emsc_runtime::seed_for(seed, b)`. A window therefore only needs
+/// the seeds of the blocks it overlaps — any decomposition of the
+/// capture reproduces the same noise bit for bit, which is what lets
+/// the fused TX chain add noise per cache-resident block. 64 matches
+/// the digitiser's 64-sample mixer-anchor grid, keeps the per-block
+/// reseed (four splitmix64 steps) well under 0.1 ns/sample, and
+/// bounds the draw-discard cost of an unaligned window start.
+pub const AWGN_BLOCK: usize = 64;
 
 /// Adds circular complex AWGN of standard deviation `sigma` (per
 /// complex sample) to `buf`, deterministically from `seed`.
@@ -72,18 +103,46 @@ impl Interferer {
 /// a large, shared cost of every simulated capture, and nothing in the
 /// repo pins the per-sample bit pattern across implementations — only
 /// determinism per seed and the channel statistics, both of which this
-/// sampler preserves.
+/// sampler preserves. The stream is blockwise sub-seeded on the
+/// [`AWGN_BLOCK`] grid (see [`add_awgn_window`]).
 pub fn add_awgn(buf: &mut [Complex], sigma: f64, seed: u64) {
-    if sigma <= 0.0 {
+    add_awgn_window(buf, sigma, seed, 0);
+}
+
+/// [`add_awgn`] for the window of the capture beginning at absolute
+/// sample `start`: adds exactly the noise the whole-buffer call would
+/// have added to indices `start..start + buf.len()`, bit for bit.
+///
+/// Block `b` of the [`AWGN_BLOCK`] grid draws `2·AWGN_BLOCK` normals
+/// (re then im per sample, in index order) from its own positionally
+/// seeded generator. A window aligned to the grid pays no overhead; a
+/// window starting mid-block discards the `2·(start % AWGN_BLOCK)`
+/// draws that precede it (draw-exact skipping — the ziggurat consumes
+/// a variable number of RNG words per normal, so the draws must be
+/// taken, not skipped arithmetically).
+pub fn add_awgn_window(buf: &mut [Complex], sigma: f64, seed: u64, start: usize) {
+    if sigma <= 0.0 || buf.is_empty() {
         return;
     }
     let zig = Ziggurat::tables();
-    let mut rng = Xoshiro256::from_seed(seed);
     let s = sigma / 2f64.sqrt();
-    for slot in buf.iter_mut() {
-        let re = zig.sample(&mut rng);
-        let im = zig.sample(&mut rng);
-        *slot += Complex::new(s * re, s * im);
+    let mut pos = start;
+    let mut filled = 0usize;
+    while filled < buf.len() {
+        let block = pos / AWGN_BLOCK;
+        let offset = pos % AWGN_BLOCK;
+        let take = (AWGN_BLOCK - offset).min(buf.len() - filled);
+        let mut rng = Xoshiro256::from_seed(emsc_runtime::seed_for(seed, block as u64));
+        for _ in 0..2 * offset {
+            zig.sample(&mut rng);
+        }
+        for slot in &mut buf[filled..filled + take] {
+            let re = zig.sample(&mut rng);
+            let im = zig.sample(&mut rng);
+            *slot += Complex::new(s * re, s * im);
+        }
+        pos += take;
+        filled += take;
     }
 }
 
@@ -144,24 +203,30 @@ const ZIG_R: f64 = 3.654_152_885_361_009;
 const ZIG_V: f64 = 0.004_928_673_233_974_655;
 
 impl Ziggurat {
-    /// Builds the tables with the classic Marsaglia–Tsang recurrence.
-    /// A few microseconds of `exp`/`ln`/`sqrt` — negligible against
-    /// the megasample buffers [`add_awgn`] is called on, so the tables
-    /// live on the stack and every call is self-contained.
-    fn tables() -> Self {
-        let f = |x: f64| (-0.5 * x * x).exp();
-        let mut x = [0.0f64; 257];
-        x[0] = ZIG_V / f(ZIG_R);
-        x[1] = ZIG_R;
-        for i in 2..256 {
-            x[i] = (-2.0 * (ZIG_V / x[i - 1] + f(x[i - 1])).ln()).sqrt();
-        }
-        x[256] = 0.0;
-        let mut y = [0.0f64; 257];
-        for i in 0..257 {
-            y[i] = f(x[i]);
-        }
-        Ziggurat { x, y }
+    /// The process-wide tables, built once with the classic
+    /// Marsaglia–Tsang recurrence. They used to live on the stack of
+    /// each `add_awgn` call — negligible against a megasample buffer,
+    /// but the blockwise windowed path may be entered once per
+    /// [`AWGN_BLOCK`], so the few microseconds of `exp`/`ln`/`sqrt`
+    /// now amortise to zero behind a `OnceLock` (same values bit for
+    /// bit; the recurrence is deterministic).
+    fn tables() -> &'static Self {
+        static TABLES: OnceLock<Ziggurat> = OnceLock::new();
+        TABLES.get_or_init(|| {
+            let f = |x: f64| (-0.5 * x * x).exp();
+            let mut x = [0.0f64; 257];
+            x[0] = ZIG_V / f(ZIG_R);
+            x[1] = ZIG_R;
+            for i in 2..256 {
+                x[i] = (-2.0 * (ZIG_V / x[i - 1] + f(x[i - 1])).ln()).sqrt();
+            }
+            x[256] = 0.0;
+            let mut y = [0.0f64; 257];
+            for i in 0..257 {
+                y[i] = f(x[i]);
+            }
+            Ziggurat { x, y }
+        })
     }
 
     /// One exact standard-normal draw.
@@ -269,6 +334,70 @@ mod tests {
         add_awgn(&mut a, 1.0, 42);
         add_awgn(&mut b, 1.0, 42);
         assert_eq!(a, b);
+    }
+
+    fn assert_bitwise_eq(a: &[Complex], b: &[Complex], what: &str) {
+        assert_eq!(a.len(), b.len(), "{what}: length");
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!(
+                x.re.to_bits() == y.re.to_bits() && x.im.to_bits() == y.im.to_bits(),
+                "{what}: sample {i} differs ({x:?} vs {y:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn awgn_windows_compose_bitwise_with_whole_buffer() {
+        // The blockwise sub-seeded stream must be decomposition-
+        // independent: grid-aligned, grid-misaligned and single-sample
+        // windows all reproduce the whole-buffer noise bit for bit.
+        let n = 10 * AWGN_BLOCK + 17;
+        let mut whole = vec![Complex::ZERO; n];
+        add_awgn(&mut whole, 1.3, 2020);
+        for window in [1usize, 7, AWGN_BLOCK, 3 * AWGN_BLOCK + 5, n] {
+            let mut composed = vec![Complex::ZERO; n];
+            let mut start = 0;
+            while start < n {
+                let len = window.min(n - start);
+                add_awgn_window(&mut composed[start..start + len], 1.3, 2020, start);
+                start += len;
+            }
+            assert_bitwise_eq(&composed, &whole, &format!("window {window}"));
+        }
+    }
+
+    #[test]
+    fn awgn_blocks_are_positionally_independent() {
+        // A window deep inside the stream must not depend on having
+        // generated anything before it: render the tail directly at
+        // its absolute offset and compare against the whole buffer.
+        let n = 5 * AWGN_BLOCK;
+        let mut whole = vec![Complex::ZERO; n];
+        add_awgn(&mut whole, 0.7, 99);
+        let tail_at = 2 * AWGN_BLOCK + 13;
+        let mut tail = vec![Complex::ZERO; n - tail_at];
+        add_awgn_window(&mut tail, 0.7, 99, tail_at);
+        assert_bitwise_eq(&tail, &whole[tail_at..], "detached tail");
+    }
+
+    #[test]
+    fn interferer_windows_compose_bitwise_with_whole_buffer() {
+        let fs = 2.4e6;
+        let fc = 1.4e6;
+        let n = 4096 + 31;
+        let intf = Interferer::printer(0.8);
+        let mut whole = vec![Complex::ZERO; n];
+        intf.add_to(&mut whole, fs, fc, 5);
+        for window in [1usize, 7, 997, n] {
+            let mut composed = vec![Complex::ZERO; n];
+            let mut start = 0;
+            while start < n {
+                let len = window.min(n - start);
+                intf.add_to_window(&mut composed[start..start + len], fs, fc, 5, start);
+                start += len;
+            }
+            assert_bitwise_eq(&composed, &whole, &format!("window {window}"));
+        }
     }
 
     #[test]

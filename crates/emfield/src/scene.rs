@@ -9,9 +9,11 @@
 use emsc_sdr::iq::Complex;
 use emsc_vrm::train::SwitchingTrain;
 
-use crate::interference::{add_awgn, Interferer};
+use crate::interference::{add_awgn, add_awgn_window, Interferer};
 use crate::path::Path;
-use crate::synth::{render_train, samples_for, SynthConfig};
+use crate::synth::{
+    pulses_sorted, render_train, render_train_window_hint, samples_for, SynthConfig,
+};
 
 /// A complete RF scene.
 #[derive(Debug, Clone, PartialEq)]
@@ -80,6 +82,39 @@ impl Scene {
         buf
     }
 
+    /// Renders the window `[start, start + out.len())` of the received
+    /// waveform into a caller-zeroed slice, bit-identical to the same
+    /// index range of [`Scene::render`] for the same `(train, seed)`.
+    ///
+    /// This is the fused TX chain's per-block composition: synthesis,
+    /// path gain, interferer combs and AWGN are all applied to the
+    /// block while it is cache-resident, and every stage is
+    /// window-invariant ([`render_train_window`], positional
+    /// interferer phases, blockwise sub-seeded noise) so the
+    /// decomposition into blocks is unobservable in the output.
+    pub fn render_window_into(
+        &self,
+        train: &SwitchingTrain,
+        seed: u64,
+        start: usize,
+        out: &mut [Complex],
+    ) {
+        self.window_renderer(train, seed).render_into(start, out);
+    }
+
+    /// A renderer for many windows of one `(train, seed)` run: probes
+    /// the train's pulse ordering once (O(pulses)) so each window pays
+    /// only the documented binary-search + warm-up overhead. This is
+    /// what a blockwise producer should hold for the run's lifetime;
+    /// [`Scene::render_window_into`] is the one-shot form.
+    pub fn window_renderer<'a>(
+        &'a self,
+        train: &'a SwitchingTrain,
+        seed: u64,
+    ) -> WindowRenderer<'a> {
+        WindowRenderer { scene: self, train, seed, sorted: pulses_sorted(train) }
+    }
+
     /// Signal-to-noise ratio (dB) a steady replenish current of
     /// `current_a` amperes would enjoy in one FFT bin of `fft_size`
     /// points: the link-budget summary used to pick workable bit rates.
@@ -87,6 +122,45 @@ impl Scene {
         let line = current_a * self.path.gain() * self.emission_scale * fft_size as f64;
         let noise = self.noise_sigma * (fft_size as f64).sqrt();
         20.0 * (line / noise).log10()
+    }
+}
+
+/// Windowed renderer bound to one `(scene, train, seed)` run — see
+/// [`Scene::window_renderer`]. Every window it renders is bit-identical
+/// to the matching range of [`Scene::render`].
+#[derive(Debug, Clone, Copy)]
+pub struct WindowRenderer<'a> {
+    scene: &'a Scene,
+    train: &'a SwitchingTrain,
+    seed: u64,
+    sorted: bool,
+}
+
+impl WindowRenderer<'_> {
+    /// Renders the window `[start, start + out.len())` of the received
+    /// waveform into a caller-zeroed slice: synthesis, path gain,
+    /// interferer combs and AWGN, all applied while the block is
+    /// cache-resident. Every stage is window-invariant (globally
+    /// anchored phasors, positional interferer phases, blockwise
+    /// sub-seeded noise), so the decomposition into blocks is
+    /// unobservable in the output.
+    pub fn render_into(&self, start: usize, out: &mut [Complex]) {
+        let scene = self.scene;
+        render_train_window_hint(self.train, scene.synth, self.sorted, start, out);
+        let gain = scene.path.gain() * scene.emission_scale;
+        for s in out.iter_mut() {
+            *s = s.scale(gain);
+        }
+        for (i, intf) in scene.interferers.iter().enumerate() {
+            intf.add_to_window(
+                out,
+                scene.synth.sample_rate,
+                scene.synth.center_freq,
+                self.seed ^ (i as u64) << 32,
+                start,
+            );
+        }
+        add_awgn_window(out, scene.noise_sigma, self.seed ^ 0x00ff_00ff_00ff_00ff, start);
     }
 }
 
@@ -166,6 +240,32 @@ mod tests {
         // the marginal one, as in the paper.
         assert!(near > 30.0);
         assert!(wall > 0.0 && wall < near - 20.0);
+    }
+
+    #[test]
+    fn windowed_scene_render_composes_bitwise() {
+        // through_wall exercises every stage: synthesis, path gain,
+        // both interferer combs and AWGN.
+        let f_sw = 970e3;
+        let scene = Scene::through_wall(f_sw);
+        let train = regular_train(f_sw, 8e-6, 4e-3);
+        let whole = scene.render(&train, 77);
+        let n = whole.len();
+        for window in [7usize, 997, 4096, n] {
+            let mut composed = vec![Complex::ZERO; n];
+            let mut start = 0;
+            while start < n {
+                let len = window.min(n - start);
+                scene.render_window_into(&train, 77, start, &mut composed[start..start + len]);
+                start += len;
+            }
+            for (i, (a, b)) in composed.iter().zip(&whole).enumerate() {
+                assert!(
+                    a.re.to_bits() == b.re.to_bits() && a.im.to_bits() == b.im.to_bits(),
+                    "window {window}: sample {i} differs"
+                );
+            }
+        }
     }
 
     #[test]

@@ -40,24 +40,39 @@ const LUT_RES: usize = 1024;
 /// Fast-path pulses between exact carrier-phasor re-computations.
 /// The incremental rotation drifts ≲ 1 ulp per step, so the error at
 /// refresh time stays ~1e-13 — the same periodic drift-control pattern
-/// as `emsc_sdr::sliding::SlidingDft`.
+/// as `emsc_sdr::sliding::SlidingDft`. Anchors sit at *global pulse
+/// indices* (`p % PHASOR_REFRESH == 0`), never at chunk boundaries, so
+/// the phasor at any pulse is a function of the train alone and every
+/// window decomposition reproduces it bit for bit.
 const PHASOR_REFRESH: usize = 256;
 
-/// Samples per render chunk. Chunks are fixed-size and self-contained,
+/// Samples per render chunk on the whole-buffer fast path. Windows are
+/// self-contained and window-invariant (see [`render_train_window`]),
 /// so a capture renders bit-identically whether the chunks run on one
-/// thread or many.
+/// thread or many — and at any other block size.
 const CHUNK_SAMPLES: usize = 1 << 16;
 
-/// Which synthesis implementation [`render_train`] uses.
+/// Which synthesis implementation [`render_train`] (and its
+/// chunk-windowed form [`render_train_window`]) uses.
+///
+/// Both modes render *window-invariantly*: the samples of any window
+/// `[start, start + len)` are bit-identical to the same index range of
+/// a whole-buffer render, so callers may decompose a capture into
+/// blocks of any size — the fused TX chain renders L1-sized blocks,
+/// the whole-buffer path renders [`CHUNK_SAMPLES`]-sized chunks across
+/// the worker pool, and both agree exactly.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum SynthMode {
-    /// Table-driven kernel, incrementally rotated carrier phasor,
-    /// chunked rendering (parallelised across the worker pool).
+    /// Table-driven kernel with a globally-anchored incremental
+    /// carrier phasor (exact `cis` at every [`PHASOR_REFRESH`]-th
+    /// pulse *of the train*, one complex multiply in between).
     /// Matches [`SynthMode::Exact`] to better than −90 dB.
     #[default]
     Fast,
     /// Reference scalar path: per-pulse `cis` and analytically
-    /// evaluated kernel. Kept for accuracy audits and tests.
+    /// evaluated kernel. Kept for accuracy audits and tests. Every
+    /// tap is computed from absolute sample indices, so the windowed
+    /// form is trivially bit-identical to the whole-buffer form.
     Exact,
 }
 
@@ -203,8 +218,68 @@ pub fn render_train(train: &SwitchingTrain, config: SynthConfig, n_samples: usiz
     }
 }
 
-fn pulses_are_sorted(train: &SwitchingTrain) -> bool {
+/// Whether the train's pulses are time-ordered — the precondition for
+/// the binary-searched fast paths. O(pulses); callers rendering many
+/// windows of one train should probe once and pass the result to
+/// [`render_train_window_hint`] instead of paying this per window.
+pub fn pulses_sorted(train: &SwitchingTrain) -> bool {
     train.pulses.windows(2).all(|w| w[0].t_s <= w[1].t_s)
+}
+
+fn pulses_are_sorted(train: &SwitchingTrain) -> bool {
+    pulses_sorted(train)
+}
+
+/// Renders the window `[start, start + out.len())` of a capture —
+/// bit-identical to the same index range of a whole-buffer
+/// [`render_train`] — *adding* each pulse's contribution into the
+/// caller-zeroed `out` slice.
+///
+/// This is the chunk-windowed entry the fused TX chain renders its
+/// cache-resident blocks through. Window invariance holds because
+/// nothing in either mode depends on the window placement:
+///
+/// - the carrier phasor anchors at global pulse indices (an exact
+///   `cis` at every [`PHASOR_REFRESH`]-th pulse *of the train*), and a
+///   window warms it up from the nearest anchor at or before its first
+///   pulse — the Δt rotator is a pure function of the pulse spacing,
+///   so the warm-up reproduces the whole-buffer product exactly;
+/// - each pulse's kernel-LUT row and interpolation fraction are
+///   computed from the pulse's *intrinsic* first tap (`⌈center − H⌉`,
+///   which may precede the window); clipping at the window edge only
+///   shifts an integer row offset, never the fraction.
+///
+/// Cost per window beyond the taps themselves: one binary search over
+/// the train and at most `PHASOR_REFRESH − 1` carrier warm-up
+/// multiplies, both negligible at kilosample block sizes.
+pub fn render_train_window(
+    train: &SwitchingTrain,
+    config: SynthConfig,
+    start: usize,
+    out: &mut [Complex],
+) {
+    render_train_window_hint(train, config, pulses_sorted(train), start, out)
+}
+
+/// [`render_train_window`] with the [`pulses_sorted`] probe hoisted
+/// out: `sorted` **must** equal `pulses_sorted(train)`. This is the
+/// entry for blockwise producers — the probe is O(pulses), so paying
+/// it once per run instead of once per block keeps the per-window
+/// overhead at the documented binary-search + warm-up level. Both
+/// modes narrow to the window's pulse range when `sorted` (skipped
+/// pulses contribute nothing in-window, so output is bit-identical to
+/// the full walk).
+pub fn render_train_window_hint(
+    train: &SwitchingTrain,
+    config: SynthConfig,
+    sorted: bool,
+    start: usize,
+    out: &mut [Complex],
+) {
+    match config.mode {
+        SynthMode::Fast if sorted => render_window_fast(train, config, start, out),
+        _ => render_window_exact(train, config, sorted, start, out),
+    }
 }
 
 /// Reference synthesis: per-pulse `Complex::cis` and the analytic
@@ -214,48 +289,77 @@ pub fn render_train_exact(
     config: SynthConfig,
     n_samples: usize,
 ) -> Vec<Complex> {
-    let fs = config.sample_rate;
     let mut out = vec![Complex::ZERO; n_samples];
-    for pulse in &train.pulses {
-        let carrier = Complex::cis(-2.0 * std::f64::consts::PI * config.center_freq * pulse.t_s);
-        let amp = pulse.charge_c * fs;
-        let center = pulse.t_s * fs;
-        let lo = (center - KERNEL_HALF_WIDTH as f64).ceil().max(0.0) as usize;
-        let hi =
-            ((center + KERNEL_HALF_WIDTH as f64).floor() as usize).min(n_samples.saturating_sub(1));
-        for (n, slot) in out.iter_mut().enumerate().take(hi + 1).skip(lo) {
-            *slot += carrier.scale(amp * kernel(n as f64 - center));
-        }
-    }
+    render_window_exact(train, config, false, 0, &mut out);
     out
 }
 
-/// Fast synthesis: table-driven kernel, incrementally rotated carrier
-/// phasor, independent fixed-size time chunks fanned across the
+/// Windowed reference path: absolute sample indices and per-pulse
+/// `cis`, so a window is bit-identical to the matching range of the
+/// whole-buffer render by construction. When the caller vouches the
+/// train is time-ordered, the pulse walk narrows to the window's
+/// support range by binary search (out-of-range pulses contribute
+/// nothing in-window, so the narrowed walk is bit-identical); an
+/// unsorted train falls back to walking every pulse.
+fn render_window_exact(
+    train: &SwitchingTrain,
+    config: SynthConfig,
+    sorted: bool,
+    start: usize,
+    out: &mut [Complex],
+) {
+    let len = out.len();
+    if len == 0 {
+        return;
+    }
+    let fs = config.sample_rate;
+    let pulses = if sorted {
+        let t_min = (start as f64 - KERNEL_HALF_WIDTH as f64) / fs;
+        let t_max = ((start + len) as f64 + KERNEL_HALF_WIDTH as f64) / fs;
+        let first = train.pulses.partition_point(|p| p.t_s < t_min);
+        let last = train.pulses.partition_point(|p| p.t_s < t_max);
+        &train.pulses[first..last]
+    } else {
+        &train.pulses[..]
+    };
+    for pulse in pulses {
+        let carrier = Complex::cis(-2.0 * std::f64::consts::PI * config.center_freq * pulse.t_s);
+        let amp = pulse.charge_c * fs;
+        let center = pulse.t_s * fs;
+        let lo = (center - KERNEL_HALF_WIDTH as f64).ceil().max(start as f64) as usize;
+        let hi = ((center + KERNEL_HALF_WIDTH as f64).floor() as usize).min(start + len - 1);
+        if lo > hi {
+            continue;
+        }
+        for n in lo..=hi {
+            out[n - start] += carrier.scale(amp * kernel(n as f64 - center));
+        }
+    }
+}
+
+/// Fast synthesis: table-driven kernel, globally-anchored incremental
+/// carrier phasor, independent fixed-size windows fanned across the
 /// worker pool. Requires time-ordered pulses.
 ///
-/// Determinism: a chunk's samples depend only on the chunk index and
-/// the (immutable) train, and chunk results are stitched in index
-/// order — so the waveform is bit-identical for any worker count.
+/// Determinism: windows are invariant (see [`render_train_window`]) and
+/// stitched in index order, so the waveform is bit-identical for any
+/// worker count and any chunk size.
 fn render_train_fast(
     train: &SwitchingTrain,
     config: SynthConfig,
     n_samples: usize,
 ) -> Vec<Complex> {
     let n_chunks = n_samples.div_ceil(CHUNK_SAMPLES).max(1);
-    if n_chunks == 1 {
-        return render_chunk(train, config, 0, n_samples);
-    }
-    // Chunk values depend only on the chunk index and the train, so a
-    // single worker can write them straight into the final buffer —
-    // skipping the per-chunk allocations and the stitch copy the
+    // Window values depend only on the window placement and the train,
+    // so a single worker can write them straight into the final buffer
+    // — skipping the per-chunk allocations and the stitch copy the
     // fan-out path pays — and stay bit-identical to the pool result.
-    if emsc_runtime::current_threads() == 1 {
+    if n_chunks == 1 || emsc_runtime::current_threads() == 1 {
         let mut out = vec![Complex::ZERO; n_samples];
         for c in 0..n_chunks {
             let start = c * CHUNK_SAMPLES;
             let len = CHUNK_SAMPLES.min(n_samples - start);
-            render_chunk_into(train, config, start, &mut out[start..start + len]);
+            render_window_fast(train, config, start, &mut out[start..start + len]);
         }
         return out;
     }
@@ -263,7 +367,9 @@ fn render_train_fast(
     let chunks = emsc_runtime::par_map(&chunk_ids, |&c| {
         let start = c * CHUNK_SAMPLES;
         let len = CHUNK_SAMPLES.min(n_samples - start);
-        render_chunk(train, config, start, len)
+        let mut out = vec![Complex::ZERO; len];
+        render_window_fast(train, config, start, &mut out);
+        out
     });
     let mut out = Vec::with_capacity(n_samples);
     for chunk in chunks {
@@ -272,75 +378,108 @@ fn render_train_fast(
     out
 }
 
-/// Renders the samples `[start, start + len)` of the capture: the
-/// contributions of every pulse whose kernel support intersects the
-/// chunk, processed in time order with an incremental carrier phasor.
-fn render_chunk(
-    train: &SwitchingTrain,
-    config: SynthConfig,
-    start: usize,
-    len: usize,
-) -> Vec<Complex> {
-    let mut out = vec![Complex::ZERO; len];
-    render_chunk_into(train, config, start, &mut out);
-    out
+/// Incremental carrier phasor with global pulse-index anchors: pulse
+/// `p` gets an exact `cis` whenever `p % PHASOR_REFRESH == 0` and one
+/// complex multiply by a Δt rotator otherwise. The rotator is a pure
+/// function of the spacing (the cache only avoids recomputing the same
+/// value), so the phasor at pulse `p` depends on the train alone —
+/// any window that warms up from the anchor at `p − p % PHASOR_REFRESH`
+/// reproduces it bit for bit. Regular trains amortise `cis` to ~1/256
+/// calls per pulse; jittered trains degrade gracefully to one per.
+struct CarrierPhasor {
+    omega: f64,
+    value: Complex,
+    prev_t: f64,
+    cached_dt: f64,
+    rotator: Complex,
 }
 
-/// [`render_chunk`] into a caller-zeroed slice (`out.len()` is the
-/// chunk length).
-fn render_chunk_into(
+impl CarrierPhasor {
+    fn new(omega: f64) -> Self {
+        CarrierPhasor {
+            omega,
+            value: Complex::ZERO,
+            prev_t: 0.0,
+            cached_dt: f64::NAN,
+            rotator: Complex::ZERO,
+        }
+    }
+
+    /// Advances to pulse `pulse_idx` (global index) at time `t_s` and
+    /// returns its carrier phasor.
+    #[inline]
+    fn step(&mut self, pulse_idx: usize, t_s: f64) -> Complex {
+        if pulse_idx.is_multiple_of(PHASOR_REFRESH) {
+            self.value = Complex::cis(self.omega * t_s);
+        } else {
+            let dt = t_s - self.prev_t;
+            if dt != self.cached_dt {
+                self.cached_dt = dt;
+                self.rotator = Complex::cis(self.omega * dt);
+            }
+            self.value *= self.rotator;
+        }
+        self.prev_t = t_s;
+        self.value
+    }
+}
+
+/// The fast path's windowed core: the contributions of every pulse
+/// whose kernel support intersects `[start, start + out.len())`,
+/// processed in time order (see [`render_train_window`] for the
+/// window-invariance argument).
+fn render_window_fast(
     train: &SwitchingTrain,
     config: SynthConfig,
     start: usize,
     out: &mut [Complex],
 ) {
     let len = out.len();
+    if len == 0 {
+        return;
+    }
     let fs = config.sample_rate;
     let omega = -2.0 * std::f64::consts::PI * config.center_freq;
     let lut = kernel_lut_rows();
 
     // Pulses whose kernel support [t·fs − H, t·fs + H] can reach this
-    // chunk (binary search over the time-ordered train).
+    // window (binary search over the time-ordered train).
     let t_min = (start as f64 - KERNEL_HALF_WIDTH as f64) / fs;
     let t_max = ((start + len) as f64 + KERNEL_HALF_WIDTH as f64) / fs;
     let first = train.pulses.partition_point(|p| p.t_s < t_min);
     let last = train.pulses.partition_point(|p| p.t_s < t_max);
+    if first == last {
+        return;
+    }
 
-    // Incremental carrier phasor: exact `cis` for the first pulse and
-    // every PHASOR_REFRESH-th after it; in between, one complex
-    // multiply by a Δt rotator that is recomputed only when the pulse
-    // spacing changes. Regular trains therefore amortise `cis` to
-    // ~1/256 calls per pulse; jittered trains degrade gracefully to
-    // one `cis` per pulse.
-    let mut carrier = Complex::ZERO;
-    let mut prev_t = 0.0f64;
-    let mut cached_dt = f64::NAN;
-    let mut rotator = Complex::ZERO;
-    let mut since_refresh = PHASOR_REFRESH;
+    // Warm the carrier up from the global anchor at or before `first`.
+    let mut carrier = CarrierPhasor::new(omega);
+    let anchor = first - first % PHASOR_REFRESH;
+    for (q, pulse) in train.pulses[anchor..first].iter().enumerate() {
+        carrier.step(anchor + q, pulse.t_s);
+    }
 
-    for pulse in &train.pulses[first..last] {
-        if since_refresh >= PHASOR_REFRESH {
-            carrier = Complex::cis(omega * pulse.t_s);
-            since_refresh = 0;
-        } else {
-            let dt = pulse.t_s - prev_t;
-            if dt != cached_dt {
-                cached_dt = dt;
-                rotator = Complex::cis(omega * dt);
-            }
-            carrier *= rotator;
-        }
-        since_refresh += 1;
-        prev_t = pulse.t_s;
-
+    let end = start + len;
+    for (q, pulse) in train.pulses[first..last].iter().enumerate() {
+        let c = carrier.step(first + q, pulse.t_s);
         let amp = pulse.charge_c * fs;
         let center = pulse.t_s * fs;
-        let lo = (center - KERNEL_HALF_WIDTH as f64).ceil().max(start as f64) as usize;
+        // Intrinsic tap window [⌈center − H⌉, ⌊center + H⌋]: the LUT
+        // row and fraction come from the intrinsic first tap (which
+        // may precede the window), so they are window-invariant;
+        // clipping only advances the integer row offset `skip`.
+        let lo_intr_f = (center - KERNEL_HALF_WIDTH as f64).ceil();
         let hi_abs = (center + KERNEL_HALF_WIDTH as f64).floor();
         if hi_abs < start as f64 {
             continue;
         }
-        let hi = (hi_abs as usize).min(start + len - 1);
+        let hi = (hi_abs as usize).min(end - 1);
+        let lo_intr = lo_intr_f as i64;
+        let lo = lo_intr.max(start as i64) as usize;
+        if lo > hi {
+            continue;
+        }
+        let skip = (lo as i64 - lo_intr) as usize;
         // Hoisted LUT walk over the transposed row table: the
         // fractional part is computed once per pulse and the taps read
         // two contiguous rows instead of striding through the flat
@@ -348,26 +487,25 @@ fn render_chunk_into(
         // center)` per tap only in the last ulps of the interpolation
         // weight — far inside the fast path's −90 dB accuracy contract
         // (pinned in tests below).
-        let pos = (lo as f64 - center + KERNEL_HALF_WIDTH as f64) * LUT_RES as f64;
-        let i0 = pos as usize;
-        let frac = pos - i0 as f64;
-        let (j, t0) = (i0 % LUT_RES, i0 / LUT_RES);
-        let row_a = &lut[j * LUT_ROW + t0..(j + 1) * LUT_ROW];
-        let row_b = &lut[(j + 1) * LUT_ROW + t0..(j + 2) * LUT_ROW];
+        let pos = (lo_intr_f - center + KERNEL_HALF_WIDTH as f64) * LUT_RES as f64;
+        let j = pos as usize;
+        let frac = pos - j as f64;
+        let row_a = &lut[j * LUT_ROW + skip..(j + 1) * LUT_ROW];
+        let row_b = &lut[(j + 1) * LUT_ROW + skip..(j + 2) * LUT_ROW];
         let dst = &mut out[lo - start..hi + 1 - start];
-        // A pulse clear of the chunk edges touches 12 or 13 taps
+        // A pulse clear of the window edges touches 12 or 13 taps
         // depending on its fractional center; dispatching those two
         // counts to a const-length block lets the compiler unroll and
         // schedule the taps as one straight-line group. Same ops in
         // the same order — bit-identical to the generic loop below,
         // which keeps handling the edge-clipped stragglers.
         match dst.len() {
-            N_FULL => tap_block::<N_FULL>(dst, row_a, row_b, frac, amp, carrier),
-            N_SHORT => tap_block::<N_SHORT>(dst, row_a, row_b, frac, amp, carrier),
+            N_FULL => tap_block::<N_FULL>(dst, row_a, row_b, frac, amp, c),
+            N_SHORT => tap_block::<N_SHORT>(dst, row_a, row_b, frac, amp, c),
             _ => {
                 for ((slot, &a), &b) in dst.iter_mut().zip(row_a).zip(row_b) {
                     let k = a + (b - a) * frac;
-                    *slot += carrier.scale(amp * k);
+                    *slot += c.scale(amp * k);
                 }
             }
         }
@@ -631,6 +769,98 @@ mod tests {
             .iter()
             .zip(&parallel)
             .all(|(a, b)| a.re.to_bits() == b.re.to_bits() && a.im.to_bits() == b.im.to_bits()));
+    }
+
+    /// Renders `n` samples as a sequence of `window`-sized blocks
+    /// through the public chunk-windowed entry.
+    fn render_by_windows(
+        train: &SwitchingTrain,
+        cfg: SynthConfig,
+        n: usize,
+        window: usize,
+    ) -> Vec<Complex> {
+        let mut out = vec![Complex::ZERO; n];
+        let mut start = 0;
+        while start < n {
+            let len = window.min(n - start);
+            render_train_window(train, cfg, start, &mut out[start..start + len]);
+            start += len;
+        }
+        out
+    }
+
+    fn assert_bitwise_eq(a: &[Complex], b: &[Complex], what: &str) {
+        assert_eq!(a.len(), b.len(), "{what}: length");
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!(
+                x.re.to_bits() == y.re.to_bits() && x.im.to_bits() == y.im.to_bits(),
+                "{what}: sample {i} differs ({x:?} vs {y:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn windowed_render_composes_bitwise_with_whole_buffer() {
+        // Window invariance is the foundation of the fused TX chain:
+        // any block decomposition must reproduce the whole-buffer
+        // render bit for bit, in both modes, for regular and jittered
+        // trains (the latter defeats the Δt-rotator cache, exercising
+        // the per-pulse `cis` warm-up).
+        let f_sw = 937.5e3;
+        let mut jittered = regular_train(f_sw, 8e-6, 4e-3);
+        let mut state = 0x9E37u64;
+        for p in &mut jittered.pulses {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let u = (state % 10_000) as f64 / 10_000.0 - 0.5;
+            p.t_s = (p.t_s + 0.4 * u / f_sw).max(0.0);
+        }
+        jittered.pulses.sort_by(|a, b| a.t_s.partial_cmp(&b.t_s).unwrap());
+        for train in [regular_train(f_sw, 8e-6, 4e-3), jittered] {
+            for cfg in [SynthConfig::rtl_sdr_for(f_sw), SynthConfig::rtl_sdr_for(f_sw).exact()] {
+                let n = samples_for(&train, cfg);
+                let whole = render_train(&train, cfg, n);
+                for window in [1usize, 7, 997, 4096] {
+                    let composed = render_by_windows(&train, cfg, n, window);
+                    assert_bitwise_eq(&composed, &whole, &format!("window {window}"));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn window_boundary_straddling_a_pulse_edge_is_bitwise_stable() {
+        // A pulse whose 13-tap kernel support straddles the boundary
+        // between two windows is rendered twice — its left taps by one
+        // window, its right taps by the next — with the same LUT row,
+        // fraction and carrier both times. Pin that for an even and an
+        // odd boundary cutting straight through a pulse's support,
+        // including a pulse whose center sits exactly on the boundary.
+        let fs = 2.4e6;
+        let cfg = SynthConfig { sample_rate: fs, center_freq: 1.4e6, mode: SynthMode::Fast };
+        let train = SwitchingTrain {
+            pulses: vec![
+                Pulse { t_s: 94.3 / fs, charge_c: 3e-6 }, // straddles n = 100
+                Pulse { t_s: 100.0 / fs, charge_c: 2e-6 }, // center exactly at 100
+                Pulse { t_s: 103.9 / fs, charge_c: 4e-6 }, // straddles from the right
+                Pulse { t_s: 151.5 / fs, charge_c: 5e-6 }, // straddles the odd cut at 153
+            ],
+            nominal_period_s: 1e-6,
+            duration_s: 200.0 / fs,
+        };
+        let n = 200;
+        let whole = render_train(&train, cfg, n);
+        for (label, cuts) in [("even", vec![100usize]), ("odd", vec![153usize])] {
+            let mut out = vec![Complex::ZERO; n];
+            let mut edges = vec![0usize];
+            edges.extend(&cuts);
+            edges.push(n);
+            for w in edges.windows(2) {
+                render_train_window(&train, cfg, w[0], &mut out[w[0]..w[1]]);
+            }
+            assert_bitwise_eq(&out, &whole, &format!("{label} boundary"));
+        }
     }
 
     #[test]

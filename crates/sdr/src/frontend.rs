@@ -169,18 +169,49 @@ impl Frontend {
     /// the largest size).
     ///
     /// This is the digitiser's hot form: the AGC peak scan is the
-    /// lane-chunked (value-identical) [`peak_abs`], the quantiser
-    /// branch is hoisted out of the sample loop, and the fast mixer
-    /// runs per 64-sample block with its phasor in a register. Every
-    /// sample still sees the historical operation sequence, so output
-    /// is bit-identical to the pre-restructure digitiser in both
-    /// modes.
+    /// lane-chunked (value-identical) [`peak_abs`], and the sample
+    /// loop is the windowed core [`Frontend::digitize_window_into`]
+    /// over the whole range — so whole-buffer and windowed output
+    /// agree by construction.
     pub fn digitize_into(&self, analog: &[Complex], out: &mut Vec<Complex>) {
+        let gain = self.agc_gain(peak_abs(analog));
+        self.digitize_window_into(analog, 0, gain, out);
+    }
+
+    /// The AGC gain that maps an observed analog peak (as measured by
+    /// [`peak_abs`]) to `agc_target` of ADC full scale. `peak_abs` is
+    /// an order-independent max fold, so a blockwise producer can fold
+    /// block peaks with `f64::max` and obtain the identical gain the
+    /// whole-buffer scan computes.
+    pub fn agc_gain(&self, peak: f64) -> f64 {
+        self.config.agc_target / peak.max(1e-30)
+    }
+
+    /// Digitises the window of the capture beginning at absolute
+    /// sample `start` (`analog` holds that window's samples) under a
+    /// caller-supplied AGC `gain` — bit-identical to the same index
+    /// range of [`Frontend::digitize_into`] when `gain` is the
+    /// global-peak gain from [`Frontend::agc_gain`].
+    ///
+    /// Window invariance: the fast mixer's 64-sample re-anchor grid is
+    /// defined on *absolute* indices (`n % 64 == 0`), its in-block
+    /// rotator powers `step^k` are a pure function of the
+    /// configuration, and the exact mixer evaluates `cis` at the
+    /// absolute time `n / fs` — so the quantiser sees the same value
+    /// sequence for any decomposition. A window starting mid-anchor-
+    /// block simply enters the rotator table at its offset.
+    ///
+    /// `out` is cleared and refilled; steady-state allocation-free
+    /// once warmed up at the largest block size.
+    pub fn digitize_window_into(
+        &self,
+        analog: &[Complex],
+        start: usize,
+        gain: f64,
+        out: &mut Vec<Complex>,
+    ) {
         let cfg = &self.config;
         let df = cfg.center_freq * cfg.ppm_error / 1e6;
-        // AGC: scale the peak to agc_target of full scale (1.0).
-        let peak = peak_abs(analog).max(1e-30);
-        let gain = cfg.agc_target / peak;
         // Quantisation rescales by a precomputed reciprocal — one
         // rounding difference in the last ulp versus dividing by `q`,
         // applied identically on the Fast and Exact paths so their
@@ -212,19 +243,26 @@ impl Frontend {
                     pw[k] = pw[k - 1] * step;
                 }
                 let mut rot = [Complex::new(1.0, 0.0); REFRESH];
-                for (block_idx, block) in analog.chunks(REFRESH).enumerate() {
-                    // Exact re-anchor at each block start — the same
-                    // `n % 64 == 0` refresh as the per-sample loop —
-                    // then the whole block's phasors `anchor · step^k`
-                    // materialised up front: one complex multiply per
-                    // sample in the push loop instead of two.
+                let mut consumed = 0usize;
+                while consumed < analog.len() {
+                    // Exact re-anchor on the absolute 64-sample grid —
+                    // the same `n % 64 == 0` refresh as the historical
+                    // per-sample loop — then the block's phasors
+                    // `anchor · step^k` materialised up front: one
+                    // complex multiply per sample in the push loop.
+                    let n = start + consumed;
+                    let block_idx = n / REFRESH;
+                    let offset = n % REFRESH;
+                    let take = (REFRESH - offset).min(analog.len() - consumed);
                     let anchor = Complex::cis(phase_step * (block_idx * REFRESH) as f64);
                     for (r, &p) in rot.iter_mut().zip(&pw) {
                         *r = anchor * p;
                     }
+                    let block = &analog[consumed..consumed + take];
+                    let rots = &rot[offset..offset + take];
                     match quant {
                         Some((q, q_inv)) => {
-                            out.extend(block.iter().zip(&rot).map(|(&z, &r)| {
+                            out.extend(block.iter().zip(rots).map(|(&z, &r)| {
                                 let v = (z * r).scale(gain) + dc;
                                 Complex::new(
                                     (v.re.clamp(-1.0, 1.0) * q).round() * q_inv,
@@ -234,10 +272,11 @@ impl Frontend {
                         }
                         None => {
                             out.extend(
-                                block.iter().zip(&rot).map(|(&z, &r)| (z * r).scale(gain) + dc),
+                                block.iter().zip(rots).map(|(&z, &r)| (z * r).scale(gain) + dc),
                             );
                         }
                     }
+                    consumed += take;
                 }
             }
             (DigitizeMode::Exact, quant) => {
@@ -248,8 +287,8 @@ impl Frontend {
                     ),
                     None => v,
                 };
-                out.extend(analog.iter().enumerate().map(|(n, &z)| {
-                    let t = n as f64 / cfg.sample_rate;
+                out.extend(analog.iter().enumerate().map(|(k, &z)| {
+                    let t = (start + k) as f64 / cfg.sample_rate;
                     let v =
                         (z * Complex::cis(2.0 * std::f64::consts::PI * df * t)).scale(gain) + dc;
                     quantize(v)
@@ -417,6 +456,43 @@ mod tests {
             let capacity = out.capacity();
             fe.digitize_into(&x, &mut out);
             assert_eq!(out.capacity(), capacity, "steady-state must not grow");
+        }
+    }
+
+    #[test]
+    fn digitize_windows_compose_bitwise_with_whole_buffer() {
+        use crate::simd::peak_abs;
+        let fs = 2.4e6;
+        let x = tone(100e3, fs, 10_000, 0.8);
+        for cfg in [
+            FrontendConfig::rtl_sdr_v3(1.4e6),
+            FrontendConfig::rtl_sdr_v3(1.4e6).exact(),
+            FrontendConfig { adc_bits: 62, ..FrontendConfig::rtl_sdr_v3(1.4e6) },
+            FrontendConfig::ideal(fs, 1.4e6),
+        ] {
+            let fe = Frontend::new(cfg);
+            let mut whole = Vec::new();
+            fe.digitize_into(&x, &mut whole);
+            let gain = fe.agc_gain(peak_abs(&x));
+            // Odd window lengths force windows to start mid-way through
+            // the fast mixer's 64-sample anchor blocks.
+            for window in [1usize, 7, 997, 4096, x.len()] {
+                let mut composed = Vec::new();
+                let mut block = Vec::new();
+                let mut start = 0;
+                while start < x.len() {
+                    let len = window.min(x.len() - start);
+                    fe.digitize_window_into(&x[start..start + len], start, gain, &mut block);
+                    composed.extend_from_slice(&block);
+                    start += len;
+                }
+                for (i, (a, b)) in composed.iter().zip(&whole).enumerate() {
+                    assert!(
+                        a.re.to_bits() == b.re.to_bits() && a.im.to_bits() == b.im.to_bits(),
+                        "window {window}: sample {i} differs"
+                    );
+                }
+            }
         }
     }
 

@@ -21,6 +21,10 @@
 //!    bounded-buffer streams (including a poisoned one): wall time
 //!    plus the per-session cumulative counters (chunks accepted and
 //!    rejected, stream errors, last error kind).
+//! 6. **Fused TX chain** — one chain run's TX side, staged (full
+//!    analog materialised, then a second digitise sweep) vs the fused
+//!    blockwise producer: pass times, blocks/s and peak resident
+//!    samples, with the bit-identity of the two captures checked.
 //!
 //! All timed paths produce bit-identical outputs (see the determinism
 //! tests in `emsc-runtime` and `emsc-emfield`), so the speedups come
@@ -33,10 +37,12 @@ use std::time::Instant;
 use emsc_core::chain::{Chain, Setup};
 use emsc_core::covert_run::CovertScenario;
 use emsc_core::experiments::tables::{measure_channel_grid, TableScale};
+use emsc_core::fused::{ChainStream, FUSED_BLOCK};
 use emsc_core::laptop::Laptop;
 use emsc_covert::rx::{Receiver, RxConfig};
 use emsc_covert::stream::StreamingReceiver;
 use emsc_emfield::synth::{render_train, render_train_exact, SynthConfig, SynthMode};
+use emsc_pmu::workload::Program;
 use emsc_runtime::{current_threads, with_threads};
 use emsc_sdr::fft::{plan_for, FftPlan};
 use emsc_sdr::frontend::DigitizeMode;
@@ -373,6 +379,58 @@ fn main() {
     }
     println!();
 
+    // 6. Fused TX chain: one chain run's TX side (trace → train →
+    //    analog → capture), staged vs fused. The staged arm renders
+    //    the full analog waveform and digitises it in a second sweep;
+    //    the fused arm streams cache-resident blocks and never
+    //    materialises the capture. Both runs are timed on the same
+    //    pre-built trace so the PMU/VRM stages stay out of the
+    //    comparison, and the captures are checked bit for bit.
+    let fused_laptop = Laptop::dell_inspiron();
+    let fused_chain = Chain::new(&fused_laptop, Setup::NearField);
+    let fused_program = Program::alternating(
+        500e-6,
+        500e-6,
+        if quick { 10 } else { 100 },
+        fused_chain.machine.steady_state_ips(),
+    );
+    let fused_trace = with_threads(1, || fused_chain.machine.run(&fused_program, seed));
+    let (staged_tx_s, staged_run) = time_best(reps, || {
+        with_threads(1, || fused_chain.run_trace_staged(fused_trace.clone(), seed))
+    });
+    let fused_samples = staged_run.capture.samples.len();
+    let fused_blocks = fused_samples.div_ceil(FUSED_BLOCK);
+    let (fused_tx_s, _) = time_best(reps, || {
+        with_threads(1, || {
+            let mut stream = fused_chain.stream_trace(fused_trace.clone(), seed);
+            let mut checksum = 0.0f64;
+            while let Some(block) = stream.next_block() {
+                checksum += block[0].re;
+            }
+            std::hint::black_box(checksum);
+            stream.into_trace_train()
+        })
+    });
+    let fused_identical =
+        {
+            let fused_run = ChainStream::new(&fused_chain, fused_trace.clone(), seed).into_run();
+            fused_run.capture.samples.len() == fused_samples
+                && fused_run.capture.samples.iter().zip(&staged_run.capture.samples).all(
+                    |(a, b)| a.re.to_bits() == b.re.to_bits() && a.im.to_bits() == b.im.to_bits(),
+                )
+        };
+    let fused_speedup = staged_tx_s / fused_tx_s;
+    let fused_blocks_per_s = fused_blocks as f64 / fused_tx_s;
+    // Peak resident complex samples: staged holds analog + capture;
+    // fused holds the analog arena + one digitised block.
+    let staged_resident = 2 * fused_samples;
+    let fused_resident = fused_samples + FUSED_BLOCK.min(fused_samples);
+    println!("fused TX chain ({fused_samples} samples, {FUSED_BLOCK}-sample blocks):");
+    println!("  staged pass          {staged_tx_s:>9.4} s");
+    println!("  fused pass           {fused_tx_s:>9.4} s   ({fused_speedup:.2}x, {fused_blocks_per_s:.0} blocks/s)");
+    println!("  peak resident        {staged_resident} samples staged, {fused_resident} fused");
+    println!("  capture bit-identical {fused_identical}\n");
+
     let sessions_json = {
         let entries: Vec<String> = tenants
             .iter()
@@ -430,6 +488,17 @@ fn main() {
             "    \"multiplexed_replay_s\": {:.6},\n",
             "    \"tenants\": {}\n",
             "  }},\n",
+            "  \"fused\": {{\n",
+            "    \"samples\": {},\n",
+            "    \"block_samples\": {},\n",
+            "    \"staged_s\": {:.6},\n",
+            "    \"fused_s\": {:.6},\n",
+            "    \"speedup\": {:.3},\n",
+            "    \"blocks_per_s\": {:.0},\n",
+            "    \"peak_resident_samples_staged\": {},\n",
+            "    \"peak_resident_samples_fused\": {},\n",
+            "    \"capture_bit_identical\": {}\n",
+            "  }},\n",
             "  \"end_to_end\": {{\n",
             "    \"experiment\": \"table2\",\n",
             "    \"cells\": {},\n",
@@ -464,6 +533,15 @@ fn main() {
         stream_identical,
         session_s,
         sessions_json,
+        fused_samples,
+        FUSED_BLOCK,
+        staged_tx_s,
+        fused_tx_s,
+        fused_speedup,
+        fused_blocks_per_s,
+        staged_resident,
+        fused_resident,
+        fused_identical,
         6 * scale.runs,
         legacy_s,
         serial_s,
@@ -478,6 +556,7 @@ fn main() {
         // numbers with noisy short-run timings.
         assert!(identical, "--quick: grid rows not thread-count bit-identical");
         assert!(stream_identical, "--quick: streaming report != batch report");
+        assert!(fused_identical, "--quick: fused capture != staged capture");
         println!("--quick: invariants hold, BENCH_runtime.json left untouched");
     } else {
         std::fs::write("BENCH_runtime.json", &json).expect("write BENCH_runtime.json");

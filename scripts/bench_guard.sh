@@ -1,0 +1,57 @@
+#!/usr/bin/env sh
+# Bench-regression guard: regenerates BENCH_runtime.json with the full
+# perf_report and compares end_to_end.fast_serial_s against the number
+# committed in the repository.
+#
+#   scripts/bench_guard.sh [tolerance-percent]
+#
+# Fails (exit 1) when the fresh fast-serial time regresses by more than
+# the tolerance (default 15 %). Speedups and small wobbles are
+# informational only — the committed file is never modified; run
+# `cargo run --release -p emsc-examples --example perf_report` from the
+# repository root and commit the result to re-baseline deliberately.
+#
+# POSIX sh + awk only, so it runs in CI images and the dev container
+# without extra tooling.
+set -eu
+
+TOLERANCE="${1:-15}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+COMMITTED="$ROOT/BENCH_runtime.json"
+
+[ -f "$COMMITTED" ] || { echo "bench_guard: no committed $COMMITTED"; exit 1; }
+
+extract() {
+    # First "fast_serial_s" value in the file (it only appears in the
+    # end_to_end section).
+    awk -F: '/"fast_serial_s"/ { gsub(/[ ,]/, "", $2); print $2; exit }' "$1"
+}
+
+BASELINE="$(extract "$COMMITTED")"
+[ -n "$BASELINE" ] || { echo "bench_guard: no fast_serial_s in committed baseline"; exit 1; }
+
+FRESH_DIR="$(mktemp -d)"
+trap 'rm -rf "$FRESH_DIR"' EXIT INT TERM
+
+# perf_report writes BENCH_runtime.json into the current directory, so
+# run it from the scratch dir to leave the committed baseline untouched.
+(cd "$FRESH_DIR" && cargo run --release --quiet \
+    --manifest-path "$ROOT/Cargo.toml" -p emsc-examples --example perf_report)
+
+FRESH="$(extract "$FRESH_DIR/BENCH_runtime.json")"
+[ -n "$FRESH" ] || { echo "bench_guard: perf_report produced no fast_serial_s"; exit 1; }
+
+awk -v base="$BASELINE" -v fresh="$FRESH" -v tol="$TOLERANCE" 'BEGIN {
+    delta = (fresh - base) / base * 100.0
+    printf "bench_guard: end_to_end.fast_serial_s committed %.3fs, fresh %.3fs (%+.1f%%, tolerance +%s%%)\n",
+           base, fresh, delta, tol
+    if (delta > tol + 0.0) {
+        printf "bench_guard: REGRESSION — fresh run is %.1f%% slower than the committed baseline\n", delta
+        exit 1
+    }
+    if (delta < -tol - 0.0) {
+        # Markedly faster is not a failure, but the baseline is stale.
+        printf "bench_guard: note — fresh run is much faster; consider re-baselining BENCH_runtime.json\n"
+    }
+    exit 0
+}'

@@ -14,8 +14,11 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+use emsc_core::chain::{Chain, Setup};
+use emsc_core::laptop::Laptop;
 use emsc_covert::rx::RxConfig;
 use emsc_covert::stream::StreamingReceiver;
+use emsc_pmu::workload::Program;
 use emsc_sdr::stream::EnergyStream;
 use emsc_sdr::Complex;
 
@@ -115,5 +118,32 @@ fn steady_state_streaming_is_allocation_free() {
     assert!(
         alloc_chunks * 4 <= measured,
         "{alloc_chunks}/{measured} chunks allocated — expected only rare amortised growth"
+    );
+
+    // 3. The fused TX producer: once its thread-local scratch arena
+    //    has warmed up on a first run, draining a stream block by
+    //    block must not touch the heap at all — the digitised block
+    //    buffer is recycled and `digitize_window_into` reuses its
+    //    capacity.
+    let laptop = Laptop::dell_inspiron();
+    let chain = Chain::new(&laptop, Setup::NearField);
+    let program = Program::alternating(300e-6, 300e-6, 6, chain.machine.steady_state_ips());
+    let trace = chain.machine.run(&program, 9);
+    // Warm run: grows the pooled arena to this trace's size and the
+    // block buffer to the block size, then recycles both.
+    drop(chain.stream_trace(trace.clone(), 9).into_run());
+    let mut stream = chain.stream_trace(trace, 9);
+    let blocks = stream.blocks_total();
+    let before = allocations();
+    let mut drained = 0usize;
+    while let Some(b) = stream.next_block() {
+        std::hint::black_box(b.len());
+        drained += 1;
+    }
+    let fused_allocs = allocations() - before;
+    assert_eq!(drained, blocks);
+    assert_eq!(
+        fused_allocs, 0,
+        "fused producer allocated {fused_allocs}x over {blocks} steady-state blocks"
     );
 }

@@ -59,6 +59,34 @@ fn channel_grid_rows_are_identical_across_thread_counts() {
 }
 
 #[test]
+fn fused_streamed_runs_match_batch_across_thread_counts() {
+    // The grid above now runs every cell through the fused streamed
+    // path; this pins the underlying per-run guarantee directly: a
+    // streamed covert run yields the batch path's metrics bit for bit,
+    // at any worker count.
+    let laptop = Laptop::all()[0].clone();
+    let chain = Chain::new(&laptop, Setup::NearField);
+    let scenario = CovertScenario::for_laptop(&laptop, chain);
+    let payload = b"fused-thread-sweep";
+    let batch = with_threads(1, || scenario.run(payload, 2020));
+    for threads in [1usize, 3] {
+        let streamed = with_threads(threads, || scenario.run_streamed(payload, 2020));
+        assert_eq!(streamed.report.bits, batch.report.bits, "{threads} threads");
+        assert_eq!(
+            streamed.alignment.ber().to_bits(),
+            batch.alignment.ber().to_bits(),
+            "{threads} threads"
+        );
+        assert_eq!(
+            streamed.transmission_rate_bps.to_bits(),
+            batch.transmission_rate_bps.to_bits(),
+            "{threads} threads"
+        );
+        assert_eq!(streamed.recovered(payload), batch.recovered(payload), "{threads} threads");
+    }
+}
+
+#[test]
 fn channel_grid_rows_depend_on_the_seed() {
     // Guard against the degenerate way the test above could pass:
     // rows that ignore the seed entirely.
