@@ -1,5 +1,6 @@
 //! Covert-channel scenario runner: one call from payload to metrics.
 
+use emsc_covert::adapt::RateStep;
 use emsc_covert::frame::{deframe, Deframed, FrameConfig};
 use emsc_covert::metrics::{align_semiglobal, Alignment};
 use emsc_covert::rx::{Receiver, RxConfig, RxError, RxReport};
@@ -246,6 +247,20 @@ impl CovertScenario {
     /// Framing used by the transmitter.
     pub fn frame(&self) -> FrameConfig {
         self.tx.frame
+    }
+
+    /// The same physical chain operated at a rung of the adaptive rate
+    /// ladder: the transmitter clock is stretched by the step's factor
+    /// and the step's coding armour (marker layer, interleaving)
+    /// replaces the frame's, while the receiver is re-primed with the
+    /// bit period the stretched transmitter actually produces on this
+    /// machine.
+    pub fn at_rate_step(&self, step: &RateStep) -> CovertScenario {
+        let mut tx = self.tx.stretched(step.stretch);
+        tx.frame.marker = step.marker;
+        tx.frame.interleave_depth = step.interleave_depth;
+        let expected_bit = tx.expected_bit_period_on(&self.chain.machine);
+        CovertScenario { chain: self.chain.clone(), tx, rx: self.rx.with_bit_period(expected_bit) }
     }
 }
 

@@ -14,7 +14,7 @@
 //! bit-identical across `EMSC_THREADS` settings.
 
 use emsc_runtime::{par_map, seed_for};
-use emsc_sdr::impair::Impairment;
+use emsc_sdr::impair::{severity_label, Impairment};
 
 use crate::chain::{Chain, Setup};
 use crate::covert_run::CovertScenario;
@@ -22,7 +22,7 @@ use crate::experiments::tables::{pseudo_payload, TableScale};
 use crate::laptop::Laptop;
 
 /// Number of severity levels in the sweep (0 = clean … 4 = severe).
-pub const SEVERITIES: usize = 5;
+pub const SEVERITIES: usize = emsc_sdr::impair::SEVERITY_LEVELS;
 
 /// One severity level of the impairment sweep, averaged over runs.
 #[derive(Debug, Clone)]
@@ -44,51 +44,12 @@ pub struct ImpairmentRow {
     pub decode_failures: usize,
 }
 
-/// The impairment stack applied at a given severity. Levels compose:
-/// each one adds impairments and raises the magnitudes of the ones it
-/// keeps. Times are placed inside the transmission body of the
-/// standard near-field capture.
+/// The impairment stack applied at a given severity — the canonical
+/// [`emsc_sdr::impair::severity_stack`], re-exported here so the
+/// E3 table and the E6 robustness sweep impair their channels
+/// bit-identically.
 pub fn impairments_at(severity: usize) -> Vec<Impairment> {
-    match severity {
-        0 => Vec::new(),
-        // Mild: a cheap crystal and slight front-end saturation.
-        1 => vec![Impairment::ClockDrift { ppm: 20.0 }, Impairment::Clipping { level: 0.65 }],
-        // Moderate: worse drift, an AGC re-range mid-capture and a
-        // short interference burst.
-        2 => vec![
-            Impairment::ClockDrift { ppm: 60.0 },
-            Impairment::AgcStep { at_s: 0.045, gain: 1.6 },
-            Impairment::ImpulseBurst { at_s: 0.03, duration_s: 0.01, amplitude: 1.0 },
-            Impairment::Clipping { level: 0.6 },
-        ],
-        // Heavy: add a USB-overrun gap and crush the dynamic range.
-        3 => vec![
-            Impairment::ClockDrift { ppm: 120.0 },
-            Impairment::AgcStep { at_s: 0.045, gain: 0.55 },
-            Impairment::DroppedSamples { at_s: 0.035, count: 2_000 },
-            Impairment::ImpulseBurst { at_s: 0.03, duration_s: 0.03, amplitude: 2.0 },
-            Impairment::Clipping { level: 0.45 },
-        ],
-        // Severe: everything at once, at magnitudes that can defeat
-        // frame sync entirely.
-        _ => vec![
-            Impairment::ClockDrift { ppm: 300.0 },
-            Impairment::AgcStep { at_s: 0.03, gain: 0.35 },
-            Impairment::DroppedSamples { at_s: 0.03, count: 20_000 },
-            Impairment::ImpulseBurst { at_s: 0.02, duration_s: 0.08, amplitude: 4.0 },
-            Impairment::Clipping { level: 0.25 },
-        ],
-    }
-}
-
-fn severity_label(severity: usize) -> &'static str {
-    match severity {
-        0 => "clean",
-        1 => "mild (drift, clip)",
-        2 => "moderate (+AGC step, burst)",
-        3 => "heavy (+dropped samples)",
-        _ => "severe (all, large)",
-    }
+    emsc_sdr::impair::severity_stack(severity)
 }
 
 /// Channel statistics of one impaired run.

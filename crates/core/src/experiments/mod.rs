@@ -27,11 +27,13 @@
 //! | E3 (BER vs. channel impairments) | [`impairments::impairment_sweep`] |
 //! | E4 (multi-tenant streaming vs. batch) | [`streaming::streaming_sessions`] |
 //! | E5 (supervised capture-daemon soak) | `emsc_service::soak` (service crate) |
+//! | E6 (deletion robustness: rigid vs. marker vs. adaptive) | [`robust::robust_sweep`] |
 
 pub mod covert_figs;
 pub mod extensions;
 pub mod impairments;
 pub mod keylog_table;
+pub mod robust;
 pub mod spectral;
 pub mod streaming;
 pub mod tables;

@@ -1,0 +1,290 @@
+//! Closed-loop adaptive rate control.
+//!
+//! The paper tunes the transmitter by hand for each distance: 3.7 kbps
+//! at 10 cm down to 821 bps through a wall (Table II), with the
+//! operator picking LOOP_PERIOD/SLEEP_PERIOD until the channel holds.
+//! This module automates that ladder: the transmitter sends short
+//! *probe* frames, the receiver reports decode success and BER, and a
+//! deterministic controller walks a rate/robustness ladder — stepping
+//! down (slower, more redundancy) on failure and climbing back up only
+//! after a run of clean probes.
+//!
+//! The controller is pure state-machine logic: no clocks, no
+//! randomness, no I/O. Given the same probe outcomes it always makes
+//! the same moves, which is what lets experiment E6 assert bit-exact
+//! behaviour across thread counts.
+
+use crate::marker::MarkerConfig;
+
+/// One rung of the rate ladder: a transmitter speed plus the coding
+/// armour applied at that speed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RateStep {
+    /// Human-readable name for reports (e.g. `"1.0x+marker"`).
+    pub label: &'static str,
+    /// Bit-period stretch factor applied via
+    /// [`crate::tx::TxConfig::stretched`]; 1.0 is the native rate.
+    pub stretch: f64,
+    /// Marker coding for this rung (`None` = rigid bit grid).
+    pub marker: Option<MarkerConfig>,
+    /// Block-interleave depth for this rung.
+    pub interleave_depth: Option<usize>,
+}
+
+/// An ordered ladder of [`RateStep`]s, fastest first.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RateLadder {
+    steps: Vec<RateStep>,
+}
+
+impl RateLadder {
+    /// Builds a ladder from explicit steps (fastest first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `steps` is empty or any stretch is not positive.
+    pub fn new(steps: Vec<RateStep>) -> Self {
+        assert!(!steps.is_empty(), "rate ladder needs at least one step");
+        for s in &steps {
+            assert!(s.stretch.is_finite() && s.stretch > 0.0, "stretch must be positive");
+        }
+        RateLadder { steps }
+    }
+
+    /// The default five-rung ladder, spanning the paper's Table II
+    /// regime: full rate with the paper's rigid framing at the top,
+    /// then marker coding, then progressively slower bit clocks with
+    /// denser markers at the bottom (the through-wall end).
+    pub fn standard() -> Self {
+        RateLadder::new(vec![
+            RateStep { label: "1.0x rigid", stretch: 1.0, marker: None, interleave_depth: None },
+            RateStep {
+                label: "1.0x marker",
+                stretch: 1.0,
+                marker: Some(MarkerConfig::standard()),
+                interleave_depth: None,
+            },
+            RateStep {
+                label: "1.5x marker",
+                stretch: 1.5,
+                marker: Some(MarkerConfig::standard()),
+                interleave_depth: Some(4),
+            },
+            RateStep {
+                label: "2.5x dense-marker",
+                stretch: 2.5,
+                marker: Some(MarkerConfig::dense()),
+                interleave_depth: Some(4),
+            },
+            RateStep {
+                label: "4.0x dense-marker",
+                stretch: 4.0,
+                marker: Some(MarkerConfig::dense()),
+                interleave_depth: Some(4),
+            },
+        ])
+    }
+
+    /// The steps, fastest first.
+    pub fn steps(&self) -> &[RateStep] {
+        &self.steps
+    }
+
+    /// Number of rungs.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Always false (the constructor rejects empty ladders); present
+    /// for clippy's `len_without_is_empty`.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+}
+
+/// Thresholds governing the controller's moves.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptPolicy {
+    /// A probe whose payload BER exceeds this counts as a failure even
+    /// if the frame decoded.
+    pub max_ber: f64,
+    /// Consecutive clean probes required before climbing one rung.
+    pub up_after_clean: usize,
+    /// Consecutive probes without a rate change before the controller
+    /// reports [`RateController::settled`].
+    pub settle_holds: usize,
+}
+
+impl Default for AdaptPolicy {
+    fn default() -> Self {
+        AdaptPolicy { max_ber: 0.05, up_after_clean: 3, settle_holds: 2 }
+    }
+}
+
+/// What one probe frame told us about the channel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProbeOutcome {
+    /// The probe frame deframed at all.
+    pub decoded: bool,
+    /// Payload bit-error rate against the known probe pattern
+    /// (ignored when `decoded` is false).
+    pub ber: f64,
+}
+
+impl ProbeOutcome {
+    /// A probe that failed to decode.
+    pub fn failed() -> Self {
+        ProbeOutcome { decoded: false, ber: 1.0 }
+    }
+}
+
+/// The deterministic rate controller.
+///
+/// Starts at the fastest rung. A failed probe (no decode, or BER above
+/// [`AdaptPolicy::max_ber`]) drops one rung and *fences* the failed
+/// rung: the controller will not climb back to a rung that has failed,
+/// so a noisy channel cannot make it oscillate forever — it descends
+/// monotonically to the fastest rung that survives, then holds.
+#[derive(Debug, Clone)]
+pub struct RateController {
+    ladder: RateLadder,
+    policy: AdaptPolicy,
+    idx: usize,
+    ceiling: usize,
+    clean_streak: usize,
+    holds: usize,
+    probes: usize,
+}
+
+impl RateController {
+    /// Creates a controller at the top (fastest) rung of `ladder`.
+    pub fn new(ladder: RateLadder, policy: AdaptPolicy) -> Self {
+        RateController { ladder, policy, idx: 0, ceiling: 0, clean_streak: 0, holds: 0, probes: 0 }
+    }
+
+    /// The rung currently selected.
+    pub fn current(&self) -> &RateStep {
+        &self.ladder.steps()[self.idx]
+    }
+
+    /// Index of the current rung (0 = fastest).
+    pub fn current_index(&self) -> usize {
+        self.idx
+    }
+
+    /// Probes observed so far.
+    pub fn probes(&self) -> usize {
+        self.probes
+    }
+
+    /// Feeds one probe result; returns `true` if the rung changed.
+    pub fn observe(&mut self, outcome: ProbeOutcome) -> bool {
+        self.probes += 1;
+        let ok = outcome.decoded && outcome.ber <= self.policy.max_ber;
+        if !ok {
+            // Fence this rung so a later clean streak cannot climb
+            // back into a configuration the channel already rejected.
+            self.ceiling = self.ceiling.max(self.idx + 1).min(self.ladder.len() - 1);
+            self.clean_streak = 0;
+            self.holds = 0;
+            if self.idx + 1 < self.ladder.len() {
+                self.idx += 1;
+                return true;
+            }
+            return false;
+        }
+        self.clean_streak += 1;
+        self.holds += 1;
+        if self.clean_streak >= self.policy.up_after_clean && self.idx > self.ceiling {
+            self.idx -= 1;
+            self.clean_streak = 0;
+            self.holds = 0;
+            return true;
+        }
+        false
+    }
+
+    /// True once [`AdaptPolicy::settle_holds`] consecutive probes have
+    /// passed without a rung change — the controller has converged.
+    pub fn settled(&self) -> bool {
+        self.holds >= self.policy.settle_holds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clean() -> ProbeOutcome {
+        ProbeOutcome { decoded: true, ber: 0.0 }
+    }
+
+    #[test]
+    fn clean_channel_holds_the_top_rung() {
+        let mut rc = RateController::new(RateLadder::standard(), AdaptPolicy::default());
+        assert_eq!(rc.current_index(), 0);
+        for _ in 0..5 {
+            assert!(!rc.observe(clean()), "no move on a clean channel");
+        }
+        assert_eq!(rc.current_index(), 0);
+        assert!(rc.settled());
+    }
+
+    #[test]
+    fn failures_descend_and_fence() {
+        let mut rc = RateController::new(RateLadder::standard(), AdaptPolicy::default());
+        assert!(rc.observe(ProbeOutcome::failed()));
+        assert!(rc.observe(ProbeOutcome::failed()));
+        assert_eq!(rc.current_index(), 2);
+        assert!(!rc.settled());
+        // Clean streak at rung 2 must NOT climb back into rung 1,
+        // which already failed.
+        for _ in 0..10 {
+            rc.observe(clean());
+        }
+        assert_eq!(rc.current_index(), 2);
+        assert!(rc.settled());
+    }
+
+    #[test]
+    fn climbs_only_after_a_clean_streak() {
+        let policy = AdaptPolicy { up_after_clean: 3, ..AdaptPolicy::default() };
+        let mut rc = RateController::new(RateLadder::standard(), policy);
+        // Drop two rungs, but only rung 0 is fenced by the first
+        // failure; the second failure fences rung 1 — so no climbing.
+        rc.observe(ProbeOutcome::failed());
+        assert_eq!(rc.current_index(), 1);
+        // A transient high-BER probe also counts as a failure.
+        rc.observe(ProbeOutcome { decoded: true, ber: 0.5 });
+        assert_eq!(rc.current_index(), 2);
+        rc.observe(clean());
+        rc.observe(clean());
+        assert_eq!(rc.current_index(), 2, "streak of 2 < up_after_clean");
+    }
+
+    #[test]
+    fn bottom_rung_absorbs_further_failures() {
+        let mut rc = RateController::new(RateLadder::standard(), AdaptPolicy::default());
+        for _ in 0..10 {
+            rc.observe(ProbeOutcome::failed());
+        }
+        assert_eq!(rc.current_index(), rc.ladder.len() - 1);
+    }
+
+    #[test]
+    fn standard_ladder_is_fastest_first() {
+        let ladder = RateLadder::standard();
+        assert_eq!(ladder.len(), 5);
+        for pair in ladder.steps().windows(2) {
+            assert!(pair[0].stretch <= pair[1].stretch, "ladder must slow monotonically");
+        }
+        assert!(ladder.steps()[0].marker.is_none(), "top rung is the paper's rigid grid");
+        assert!(ladder.steps()[4].marker.is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one step")]
+    fn empty_ladder_panics() {
+        RateLadder::new(vec![]);
+    }
+}

@@ -26,12 +26,25 @@ pub fn hamming74_encode(data: &[u8]) -> [u8; 7] {
 /// Decodes a 7-bit Hamming codeword, correcting up to one bit error.
 /// Returns the 4 data bits and whether a correction was applied.
 ///
+/// Runs on a fixed `[u8; 7]` working buffer — this is the hot RX
+/// decode path and must not touch the heap (pinned by
+/// `tests/tests/alloc.rs`).
+///
+/// A distance-3 code cannot *detect* double errors: any 2-bit error
+/// produces a nonzero syndrome that "corrects" a third position, so
+/// `corrected == true` only means the syndrome was nonzero, not that
+/// the output is right. [`crate::metrics::codeword_audit`] measures
+/// the resulting miscorrection rate against ground truth.
+///
 /// # Panics
 ///
 /// Panics if `code.len() != 7`.
 pub fn hamming74_decode(code: &[u8]) -> ([u8; 4], bool) {
     assert_eq!(code.len(), 7, "Hamming(7,4) decodes exactly 7 bits");
-    let mut c: Vec<u8> = code.iter().map(|&b| b & 1).collect();
+    let mut c = [0u8; 7];
+    for (dst, &src) in c.iter_mut().zip(code) {
+        *dst = src & 1;
+    }
     let s1 = c[0] ^ c[2] ^ c[4] ^ c[6];
     let s2 = c[1] ^ c[2] ^ c[5] ^ c[6];
     let s3 = c[3] ^ c[4] ^ c[5] ^ c[6];
@@ -42,6 +55,45 @@ pub fn hamming74_decode(code: &[u8]) -> ([u8; 4], bool) {
         c[pos] ^= 1;
     }
     ([c[2], c[4], c[5], c[6]], corrected)
+}
+
+/// Per-stream accounting for [`decode_bits_reported`].
+///
+/// `corrected` counts codewords whose syndrome was nonzero. Because
+/// Hamming(7,4) has distance 3, a nonzero syndrome conflates genuine
+/// single-bit corrections with silent double-error *miscorrections*;
+/// treat `corrected` as a lower bound on channel errors, not an upper
+/// bound on residual errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CodingStats {
+    /// Complete 7-bit codewords decoded.
+    pub codewords: usize,
+    /// Codewords with a nonzero syndrome (corrected *or* miscorrected).
+    pub corrected: usize,
+    /// Trailing bits that did not fill a codeword and were dropped.
+    /// Nonzero means the coded stream was truncated mid-codeword —
+    /// distinct from clean termination (`dropped_tail_bits == 0`).
+    pub dropped_tail_bits: usize,
+}
+
+impl CodingStats {
+    /// Fraction of codewords with a nonzero syndrome, or 0 for an
+    /// empty stream.
+    pub fn correction_rate(&self) -> f64 {
+        if self.codewords == 0 {
+            0.0
+        } else {
+            self.corrected as f64 / self.codewords as f64
+        }
+    }
+
+    /// Adds another decode's counts into this one (a frame decodes
+    /// its header and payload spans separately).
+    pub fn absorb(&mut self, other: CodingStats) {
+        self.codewords += other.codewords;
+        self.corrected += other.corrected;
+        self.dropped_tail_bits += other.dropped_tail_bits;
+    }
 }
 
 /// Encodes an arbitrary bit string with Hamming(7,4), zero-padding the
@@ -60,16 +112,25 @@ pub fn encode_bits(bits: &[u8]) -> Vec<u8> {
 /// codeword. Trailing bits that do not fill a codeword are dropped.
 /// Returns the decoded bits and the number of corrections applied.
 pub fn decode_bits(coded: &[u8]) -> (Vec<u8>, usize) {
+    let (out, stats) = decode_bits_reported(coded);
+    (out, stats.corrected)
+}
+
+/// Decodes a Hamming(7,4)-coded bit string with full accounting:
+/// codeword count, nonzero-syndrome count and the number of trailing
+/// bits that were dropped because they did not fill a codeword.
+pub fn decode_bits_reported(coded: &[u8]) -> (Vec<u8>, CodingStats) {
     let mut out = Vec::with_capacity(coded.len() / 7 * 4);
-    let mut corrections = 0;
+    let mut stats = CodingStats { dropped_tail_bits: coded.len() % 7, ..CodingStats::default() };
     for chunk in coded.chunks_exact(7) {
         let (nibble, fixed) = hamming74_decode(chunk);
         out.extend_from_slice(&nibble);
+        stats.codewords += 1;
         if fixed {
-            corrections += 1;
+            stats.corrected += 1;
         }
     }
-    (out, corrections)
+    (out, stats)
 }
 
 /// Converts bytes to a most-significant-bit-first bit vector.
@@ -162,6 +223,45 @@ mod tests {
         let (decoded, _) = decode_bits(&coded);
         assert_eq!(&decoded[..3], &[1, 0, 1]);
         assert_eq!(decoded[3], 0); // padding bit
+    }
+
+    #[test]
+    fn dropped_tail_bits_are_reported() {
+        let coded = encode_bits(&[1, 0, 1, 1, 0, 1, 0, 0]); // 2 codewords
+        let (full, stats) = decode_bits_reported(&coded);
+        assert_eq!(full.len(), 8);
+        assert_eq!(stats.codewords, 2);
+        assert_eq!(stats.dropped_tail_bits, 0, "clean termination");
+        // Truncate mid-codeword: the 3 leftover bits must be counted,
+        // not silently discarded.
+        let (partial, stats) = decode_bits_reported(&coded[..10]);
+        assert_eq!(partial.len(), 4);
+        assert_eq!(stats.codewords, 1);
+        assert_eq!(stats.dropped_tail_bits, 3);
+    }
+
+    #[test]
+    fn double_errors_miscorrect_with_nonzero_syndrome() {
+        // Distance 3: a 2-bit error always lands within distance 1 of
+        // some *other* codeword, so the decoder "corrects" to wrong
+        // data while still reporting corrected == true. This pins the
+        // behaviour CodingStats documents.
+        let nibble = [1, 0, 1, 1];
+        let code = hamming74_encode(&nibble);
+        let mut seen_wrong = 0;
+        for i in 0..7 {
+            for j in (i + 1)..7 {
+                let mut corrupted = code;
+                corrupted[i] ^= 1;
+                corrupted[j] ^= 1;
+                let (decoded, corrected) = hamming74_decode(&corrupted);
+                assert!(corrected, "double error at ({i},{j}) must raise the syndrome");
+                if decoded != nibble {
+                    seen_wrong += 1;
+                }
+            }
+        }
+        assert_eq!(seen_wrong, 21, "every double error miscorrects");
     }
 
     #[test]

@@ -22,7 +22,14 @@
 //! - [`capacity`]: information-theoretic bounds on the measured
 //!   channel (BSC capacity, indel-discounted effective rate),
 //! - [`interleave`]: block interleaving so error bursts spread across
-//!   codewords (a natural strengthening of §IV-B4's parity scheme).
+//!   codewords (a natural strengthening of §IV-B4's parity scheme),
+//! - [`marker`]: synchronisation-robust marker coding — periodic known
+//!   markers with a drift-tracking decoder that re-aligns the bit
+//!   clock between markers, so insertions/deletions corrupt one
+//!   segment instead of shifting the rest of the frame,
+//! - [`adapt`]: the closed-loop rate controller that walks a
+//!   rate/robustness ladder from probe-frame quality (automating the
+//!   paper's manual rate-vs-distance tuning, Table II → §V).
 //!
 //! The full physical chain (machine → VRM → EM scene → SDR) is
 //! composed in `emsc-core`; this crate's end-to-end tests wire it up
@@ -31,10 +38,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+pub mod adapt;
 pub mod capacity;
 pub mod coding;
 pub mod frame;
 pub mod interleave;
+pub mod marker;
 pub mod matched;
 pub mod metrics;
 pub mod packets;
@@ -42,8 +51,15 @@ pub mod rx;
 pub mod stream;
 pub mod tx;
 
-pub use frame::FrameError;
-pub use metrics::{align, align_semiglobal, align_trace, AlignOp, Alignment};
+pub use adapt::{AdaptPolicy, ProbeOutcome, RateController, RateLadder, RateStep};
+pub use coding::CodingStats;
+pub use frame::{on_air_frame_len, salvage_marker_bits, FrameError, Salvage};
+pub use marker::{
+    blind_lock, marker_decode, marker_encode, MarkerConfig, MarkerStats, MarkerStream,
+};
+pub use metrics::{
+    align, align_semiglobal, align_trace, codeword_audit, AlignOp, Alignment, CodewordAudit,
+};
 pub use rx::{Receiver, RxConfig, RxError, RxReport, SyncLoss};
 pub use stream::{Deframer, FrameEvent, RxProgress, StreamingReceiver};
 pub use tx::{Transmitter, TxConfig};

@@ -191,6 +191,66 @@ pub fn align_semiglobal(tx: &[u8], rx: &[u8]) -> Alignment {
     out
 }
 
+/// Ground-truth accounting for the Hamming(7,4) decode of a coded
+/// stream (see [`crate::coding::hamming74_decode`]'s caveat: a nonzero
+/// syndrome conflates genuine corrections with silent double-error
+/// *miscorrections* — only a comparison against the transmitted
+/// codewords can tell them apart).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct CodewordAudit {
+    /// Codeword pairs compared.
+    pub codewords: usize,
+    /// Received codewords with no channel errors.
+    pub clean: usize,
+    /// Codewords the decoder genuinely repaired (single-bit errors).
+    pub corrected: usize,
+    /// Codewords where the decoder's nonzero-syndrome "correction"
+    /// produced the *wrong* data (≥2 channel errors) — the silent
+    /// failure mode this audit exists to expose.
+    pub miscorrected: usize,
+    /// Codewords with channel errors but a zero syndrome (an error
+    /// pattern that lands exactly on another codeword): the decoder
+    /// saw nothing wrong and still emitted wrong data.
+    pub undetected: usize,
+}
+
+impl CodewordAudit {
+    /// Fraction of codewords that decoded to wrong data (miscorrected
+    /// or undetected), or 0 for an empty stream.
+    pub fn wrong_rate(&self) -> f64 {
+        if self.codewords == 0 {
+            0.0
+        } else {
+            (self.miscorrected + self.undetected) as f64 / self.codewords as f64
+        }
+    }
+}
+
+/// Audits a received coded stream against the transmitted one,
+/// codeword by codeword, classifying each 7-bit pair as clean,
+/// corrected, miscorrected or undetected. Both streams are walked on
+/// the transmitted codeword grid (trailing partial codewords are
+/// ignored), so this measures the *substitution* channel the coding
+/// layer actually sees — run it on marker-recovered bits, where indels
+/// have already been resampled onto the nominal grid.
+pub fn codeword_audit(tx_coded: &[u8], rx_coded: &[u8]) -> CodewordAudit {
+    let mut audit = CodewordAudit::default();
+    for (tx_cw, rx_cw) in tx_coded.chunks_exact(7).zip(rx_coded.chunks_exact(7)) {
+        audit.codewords += 1;
+        let errors = tx_cw.iter().zip(rx_cw).filter(|(a, b)| (**a & 1) != (**b & 1)).count();
+        let (tx_nibble, _) = crate::coding::hamming74_decode(tx_cw);
+        let (rx_nibble, syndrome_fired) = crate::coding::hamming74_decode(rx_cw);
+        match (errors, syndrome_fired, rx_nibble == tx_nibble) {
+            (0, _, _) => audit.clean += 1,
+            (_, true, true) => audit.corrected += 1,
+            (_, true, false) => audit.miscorrected += 1,
+            (_, false, _) => audit.undetected += 1,
+        }
+    }
+    audit
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -295,5 +355,59 @@ mod tests {
         let a = align(&tx, &rx);
         assert_eq!(a.tx_len(), tx.len());
         assert_eq!(a.rx_len(), rx.len());
+    }
+
+    #[test]
+    fn codeword_audit_classifies_every_outcome() {
+        use crate::coding::encode_bits;
+        // 4 codewords: leave #0 clean, flip 1 bit in #1, 2 bits in #2,
+        // and hit #3 with an error pattern equal to another codeword
+        // (distance 3) so the syndrome stays silent.
+        let data: Vec<u8> = vec![1, 0, 1, 1, 0, 1, 0, 0, 1, 1, 1, 0, 0, 0, 0, 1];
+        let tx = encode_bits(&data);
+        let mut rx = tx.clone();
+        rx[7] ^= 1; // single error in codeword 1
+        rx[14] ^= 1; // double error in codeword 2
+        rx[15] ^= 1;
+        // Codeword-weight error pattern for #3: XOR with a nonzero
+        // codeword (encode of [1,0,0,0] = [1,1,1,0,0,0,0]).
+        for (i, bit) in [1u8, 1, 1, 0, 0, 0, 0].iter().enumerate() {
+            rx[21 + i] ^= bit;
+        }
+        let audit = codeword_audit(&tx, &rx);
+        assert_eq!(audit.codewords, 4);
+        assert_eq!(audit.clean, 1);
+        assert_eq!(audit.corrected, 1);
+        assert_eq!(audit.miscorrected, 1);
+        assert_eq!(audit.undetected, 1);
+        assert!((audit.wrong_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn codeword_audit_exposes_what_coding_stats_conflates() {
+        use crate::coding::{decode_bits_reported, encode_bits};
+        let data: Vec<u8> = (0..32).map(|i| (i % 3 == 0) as u8).collect();
+        let tx = encode_bits(&data);
+        let mut rx = tx.clone();
+        rx[0] ^= 1; // genuine single-bit correction in codeword 0
+        rx[8] ^= 1; // double error in codeword 1 → miscorrection
+        rx[9] ^= 1;
+        let (_, stats) = decode_bits_reported(&rx);
+        let audit = codeword_audit(&tx, &rx);
+        // The decoder alone sees two "corrections"; only the audit can
+        // tell that one of them silently produced wrong data.
+        assert_eq!(stats.corrected, 2);
+        assert_eq!(audit.corrected, 1);
+        assert_eq!(audit.miscorrected, 1);
+        assert_eq!(audit.undetected, 0);
+    }
+
+    #[test]
+    fn codeword_audit_of_identical_streams_is_all_clean() {
+        use crate::coding::encode_bits;
+        let tx = encode_bits(&[1, 0, 0, 1, 1, 1, 0, 0]);
+        let audit = codeword_audit(&tx, &tx);
+        assert_eq!(audit.clean, audit.codewords);
+        assert_eq!(audit.wrong_rate(), 0.0);
     }
 }

@@ -37,9 +37,12 @@ use emsc_sdr::iq::Complex;
 use emsc_sdr::stream::{ConvolveSameStream, EnergyStream, SmoothStream};
 
 use crate::frame::{
-    body_span, decode_body, header_span, marker_errors_at, peek_declared, try_deframe, Deframed,
-    FrameConfig, FrameError, START_MARKER,
+    body_span, decode_body, decode_rigid_body, header_span, lattice_score, lattice_window,
+    marker_errors_at, peek_declared, peek_declared_rigid, peek_need, rigid_body_span, try_deframe,
+    Deframed, FrameConfig, FrameError, LATTICE_EXTRA_TOLERANCE, LATTICE_PROBE_MARKERS,
+    START_MARKER,
 };
+use crate::marker::{segments_for, MarkerConfig, MarkerStream};
 use crate::rx::{
     carrier_bins_for, decode_from_energy, edge_kernel_len, try_estimate_bit_period, Receiver,
     RxConfig, RxError, RxReport, SyncLoss,
@@ -296,8 +299,82 @@ pub struct Deframer {
     best: Option<(usize, usize)>,
     /// Committed (exact) marker, relative position.
     committed: Option<usize>,
+    /// Incremental marker-code decoder for the committed frame's body
+    /// (marker-coded frames only).
+    marker_rx: Option<MarkerRx>,
     frames_emitted: usize,
     finished: bool,
+}
+
+/// Incremental recovery of a marker-coded frame body: mirrors the
+/// batch `recover_rigid` pump exactly (first enough segments to peek
+/// the declared length, then exactly the declared body), so the
+/// decisions — and therefore the decoded frame — are bit-identical to
+/// batch for every chunking.
+#[derive(Debug, Clone)]
+struct MarkerRx {
+    ms: MarkerStream,
+    rigid: Vec<u8>,
+    /// Body-relative bits already fed to the marker decoder.
+    fed: usize,
+    declared: Option<usize>,
+}
+
+impl MarkerRx {
+    fn new(mcfg: MarkerConfig) -> Self {
+        MarkerRx { ms: MarkerStream::new(mcfg), rigid: Vec::new(), fed: 0, declared: None }
+    }
+
+    /// Feeds any new body bits and pumps segments as far as the batch
+    /// gating allows. Returns `true` once the rigid body is complete
+    /// (always, at end of stream, once the declared length is known).
+    fn pump(&mut self, body: &[u8], config: FrameConfig, end_of_stream: bool) -> bool {
+        if self.fed < body.len() {
+            self.ms.push(&body[self.fed..]);
+            self.fed = body.len();
+        }
+        let s = self.ms.config().segment_len;
+        if self.declared.is_none() {
+            let need = peek_need(config);
+            while self.rigid.len() < need && self.ms.next_segment(&mut self.rigid, end_of_stream) {}
+            if self.rigid.len() < need && !end_of_stream {
+                return false;
+            }
+            self.declared = peek_declared_rigid(&self.rigid, config);
+        }
+        let Some(declared) = self.declared else {
+            // Stream exhausted inside the header; nothing more can
+            // resolve (end of stream only).
+            return end_of_stream;
+        };
+        let want = segments_for(self.ms.config(), rigid_body_span(config, declared)) * s;
+        self.ms.expect_segments(want / s);
+        while self.rigid.len() < want && self.ms.next_segment(&mut self.rigid, end_of_stream) {}
+        self.rigid.len() >= want || end_of_stream
+    }
+
+    /// Decodes the completed rigid body, padding any truncation the
+    /// way the batch path does.
+    fn decode(mut self, config: FrameConfig, payload_start: usize) -> Result<Deframed, FrameError> {
+        let declared = self.declared.ok_or(FrameError::TruncatedHeader)?;
+        let want = segments_for(self.ms.config(), rigid_body_span(config, declared))
+            * self.ms.config().segment_len;
+        let mut stats = self.ms.stats();
+        if self.rigid.len() < want {
+            stats.truncated_bits += want - self.rigid.len();
+            self.rigid.resize(want, 0);
+        }
+        self.rigid.truncate(want);
+        let decoded = decode_rigid_body(&self.rigid, config)?;
+        let mut frame = decoded.into_deframed(payload_start);
+        frame.marker = Some(stats);
+        Ok(frame)
+    }
+
+    /// Received body bits consumed by the emitted segments.
+    fn consumed(&self) -> usize {
+        self.ms.consumed_bits()
+    }
 }
 
 impl Deframer {
@@ -312,6 +389,7 @@ impl Deframer {
             scanned: 0,
             best: None,
             committed: None,
+            marker_rx: None,
             frames_emitted: 0,
             finished: false,
         }
@@ -325,7 +403,10 @@ impl Deframer {
     /// Feeds demodulated bits, returning any events they complete.
     pub fn push(&mut self, new_bits: &[u8]) -> Vec<FrameEvent> {
         self.bits.extend_from_slice(new_bits);
-        if self.config.interleave_depth.is_some() && self.config.parity {
+        if self.config.interleave_depth.is_some()
+            && self.config.parity
+            && self.config.marker.is_none()
+        {
             // Deferred wholly to finish (see type docs).
             return Vec::new();
         }
@@ -335,8 +416,29 @@ impl Deframer {
                 self.scan_for_marker(&mut events);
             }
             let Some(pos) = self.committed else { break };
-            // Emit the frame as soon as the declared body is on hand.
             let body_at = pos + START_MARKER.len();
+            if let Some(mcfg) = self.config.marker {
+                // Marker-coded body: the incremental drift-tracking
+                // decoder peeks the declared length and completes the
+                // frame as soon as every alignment window is on hand.
+                let mrx = self.marker_rx.get_or_insert_with(|| MarkerRx::new(mcfg));
+                if !mrx.pump(&self.bits[body_at..], self.config, false) {
+                    break;
+                }
+                let mrx = self.marker_rx.take().expect("pumped above");
+                let consumed = mrx.consumed().min(self.bits.len() - body_at);
+                let frame =
+                    mrx.decode(self.config, self.base + body_at).expect("declared length resolved");
+                events.push(FrameEvent::Frame(frame));
+                self.frames_emitted += 1;
+                self.bits.drain(..body_at + consumed);
+                self.base += body_at + consumed;
+                self.scanned = 0;
+                self.best = None;
+                self.committed = None;
+                continue;
+            }
+            // Emit the frame as soon as the declared body is on hand.
             let available = self.bits.len() - body_at;
             let Some(declared) = peek_declared(&self.bits[body_at..], self.config) else {
                 break;
@@ -346,13 +448,8 @@ impl Deframer {
                 break;
             }
             let span = &self.bits[body_at..body_at + needed];
-            let (payload, corrections) =
-                decode_body(span, self.config).expect("complete header span decodes");
-            events.push(FrameEvent::Frame(Deframed {
-                payload,
-                payload_start: self.base + body_at,
-                corrections,
-            }));
+            let body = decode_body(span, self.config).expect("complete header span decodes");
+            events.push(FrameEvent::Frame(body.into_deframed(self.base + body_at)));
             self.frames_emitted += 1;
             // Rebase past the consumed frame and keep scanning: a
             // long-running session sees a *sequence* of frames.
@@ -368,6 +465,33 @@ impl Deframer {
     fn scan_for_marker(&mut self, events: &mut Vec<FrameEvent>) {
         let m = START_MARKER.len();
         if self.bits.len() < m {
+            return;
+        }
+        if let Some(mcfg) = self.config.marker {
+            // Marker-coded frames rank anchors by segment-marker
+            // lattice score (the batch `ranked_marker_anchors` rule).
+            // A candidate's score is final only once its whole probe
+            // window is buffered, so scan decidable positions and
+            // commit at the first candidate no later position can
+            // outrank — an un-aliased, fully *exact* lattice with an
+            // exact start marker, the unique maximum of the batch
+            // comparator. Anything weaker is resolved at finish() by
+            // the batch scan over the full buffer.
+            let window = m + lattice_window(mcfg);
+            while self.scanned + window <= self.bits.len() {
+                let pos = self.scanned;
+                self.scanned += 1;
+                let errors = marker_errors_at(&self.bits, pos);
+                if errors > self.max_marker_errors + LATTICE_EXTRA_TOLERANCE {
+                    continue;
+                }
+                let score = lattice_score(&self.bits, pos + m, mcfg);
+                if errors == 0 && score.exact == LATTICE_PROBE_MARKERS && !score.aliased {
+                    self.committed = Some(pos);
+                    events.push(FrameEvent::MarkerFound { position: self.base + pos, errors: 0 });
+                    return;
+                }
+            }
             return;
         }
         for pos in self.scanned..=self.bits.len() - m {
@@ -395,7 +519,17 @@ impl Deframer {
     pub fn finish(&mut self) -> Vec<FrameEvent> {
         assert!(!self.finished, "finish() may only be called once");
         self.finished = true;
-        if self.config.interleave_depth.is_some() && self.config.parity {
+        let rigid_interleaved = self.config.interleave_depth.is_some()
+            && self.config.parity
+            && self.config.marker.is_none();
+        // Marker-coded frames always defer to the batch scan: the
+        // ranked candidate chain may fall through past a committed
+        // anchor whose decode proves implausible, and only the full
+        // buffer can rank end-of-stream candidates whose lattice
+        // windows never filled. (A frame the push path already
+        // emitted has been drained from the buffer, so the batch scan
+        // here sees only the unresolved tail.)
+        if rigid_interleaved || self.config.marker.is_some() {
             return match try_deframe(&self.bits, self.config, self.max_marker_errors) {
                 Ok(frame) => {
                     let pos = frame.payload_start - START_MARKER.len();
@@ -428,13 +562,9 @@ impl Deframer {
             Some(pos) => {
                 let body_at = pos + START_MARKER.len();
                 match decode_body(&self.bits[body_at..], self.config) {
-                    Ok((payload, corrections)) => {
+                    Ok(body) => {
                         self.frames_emitted += 1;
-                        events.push(FrameEvent::Frame(Deframed {
-                            payload,
-                            payload_start: self.base + body_at,
-                            corrections,
-                        }));
+                        events.push(FrameEvent::Frame(body.into_deframed(self.base + body_at)));
                     }
                     Err(e) => events.push(FrameEvent::Lost(e)),
                 }
@@ -703,6 +833,122 @@ mod tests {
             })
             .expect("frame at finish");
         assert_eq!(frame, batch);
+    }
+
+    #[test]
+    fn marker_deframer_matches_batch_for_every_chunking() {
+        use crate::marker::MarkerConfig;
+        let cfg = FrameConfig { marker: Some(MarkerConfig::standard()), ..FrameConfig::default() };
+        let payload = b"drifting stream payload";
+        let mut bits = vec![0u8, 1, 1, 0, 0, 1, 0];
+        bits.extend(frame_payload(payload, cfg));
+        let body_at = 7 + cfg.sync_len + cfg.zeros_len + START_MARKER.len();
+        bits.remove(body_at + 100); // a deletion the marker code absorbs
+                                    // Alternating tail (can never alias START_MARKER) so the last
+                                    // alignment window fills without fabricating a second frame.
+        bits.extend(std::iter::repeat_n([0u8, 1], 16).flatten());
+        let batch = try_deframe(&bits, cfg, 1).expect("marker frame");
+        assert!(batch.marker.is_some());
+        for chunk in chunkings(bits.len()) {
+            let mut d = Deframer::new(cfg, 1);
+            let mut events = Vec::new();
+            for c in bits.chunks(chunk) {
+                events.extend(d.push(c));
+            }
+            events.extend(d.finish());
+            let frames: Vec<&Deframed> = events
+                .iter()
+                .filter_map(|e| match e {
+                    FrameEvent::Frame(f) => Some(f),
+                    _ => None,
+                })
+                .collect();
+            assert_eq!(frames.len(), 1, "chunk {chunk}: {events:?}");
+            assert_eq!(*frames[0], batch, "chunk {chunk}");
+        }
+    }
+
+    #[test]
+    fn marker_deframer_defers_damaged_anchor_to_finish_like_batch() {
+        use crate::marker::MarkerConfig;
+        let cfg = FrameConfig { marker: Some(MarkerConfig::standard()), ..FrameConfig::default() };
+        let payload = b"burst over the anchor";
+        let mut bits = frame_payload(payload, cfg);
+        let marker_at = cfg.sync_len + cfg.zeros_len;
+        // 3 START_MARKER errors: the push path can never commit (it
+        // requires an exact anchor), so every chunking must defer to
+        // finish and agree with the batch lattice search.
+        for i in [0, 3, 6] {
+            bits[marker_at + i] ^= 1;
+        }
+        let batch = try_deframe(&bits, cfg, 1).expect("lattice-confirmed anchor");
+        assert_eq!(batch.payload, payload.to_vec());
+        for chunk in chunkings(bits.len()) {
+            let mut d = Deframer::new(cfg, 1);
+            let mut events = Vec::new();
+            for c in bits.chunks(chunk) {
+                events.extend(d.push(c));
+            }
+            events.extend(d.finish());
+            let frames: Vec<&Deframed> = events
+                .iter()
+                .filter_map(|e| match e {
+                    FrameEvent::Frame(f) => Some(f),
+                    _ => None,
+                })
+                .collect();
+            assert_eq!(frames.len(), 1, "chunk {chunk}: {events:?}");
+            assert_eq!(*frames[0], batch, "chunk {chunk}");
+        }
+    }
+
+    #[test]
+    fn marker_interleaved_deframer_matches_batch() {
+        use crate::marker::MarkerConfig;
+        let cfg = FrameConfig {
+            interleave_depth: Some(7),
+            marker: Some(MarkerConfig::standard()),
+            ..FrameConfig::default()
+        };
+        let payload = b"marker+interleave";
+        let mut bits = frame_payload(payload, cfg);
+        bits.extend([1, 0, 0, 1, 0, 1, 1, 0, 0, 1, 0, 1, 1, 0, 0, 1, 0, 1, 1, 0]);
+        let batch = try_deframe(&bits, cfg, 0).expect("frame");
+        assert_eq!(batch.payload, payload.to_vec());
+        for chunk in chunkings(bits.len()) {
+            let mut d = Deframer::new(cfg, 0);
+            let mut events = Vec::new();
+            for c in bits.chunks(chunk) {
+                events.extend(d.push(c));
+            }
+            events.extend(d.finish());
+            let frame = events
+                .iter()
+                .find_map(|e| match e {
+                    FrameEvent::Frame(f) => Some(f.clone()),
+                    _ => None,
+                })
+                .expect("frame");
+            assert_eq!(frame, batch, "chunk {chunk}");
+        }
+    }
+
+    #[test]
+    fn marker_frames_emit_mid_stream() {
+        use crate::marker::MarkerConfig;
+        let cfg = FrameConfig { marker: Some(MarkerConfig::standard()), ..FrameConfig::default() };
+        let mut bits = frame_payload(b"early marker", cfg);
+        // Trailing bits so the final segment's alignment window fills
+        // before the stream ends.
+        bits.extend(std::iter::repeat_n([0u8, 1], 32).flatten());
+        let mut d = Deframer::new(cfg, 1);
+        let events: Vec<FrameEvent> = bits.chunks(3).flat_map(|c| d.push(c)).collect();
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e, FrameEvent::Frame(f) if f.payload == b"early marker")),
+            "marker frame must stream out of push(): {events:?}"
+        );
     }
 
     #[test]

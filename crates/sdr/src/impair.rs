@@ -129,6 +129,64 @@ pub fn apply_all(capture: &mut Capture, impairments: &[Impairment], seed: u64) {
     }
 }
 
+/// Severity levels [`severity_stack`] defines (0 = clean … 4 = severe).
+pub const SEVERITY_LEVELS: usize = 5;
+
+/// The canonical impairment stack at a given severity, shared by every
+/// sweep that reports "severity 0–4" (E3's BER table, E6's robustness
+/// comparison): levels compose, each adding impairments and raising
+/// the magnitudes of the ones it keeps. Times assume the transmission
+/// body of the standard near-field capture (tens of milliseconds).
+/// Severities above 4 saturate at the severe stack.
+pub fn severity_stack(severity: usize) -> Vec<Impairment> {
+    match severity {
+        0 => Vec::new(),
+        // Mild: a cheap crystal and slight front-end saturation.
+        1 => vec![Impairment::ClockDrift { ppm: 20.0 }, Impairment::Clipping { level: 0.65 }],
+        // Moderate: worse drift, an AGC re-range mid-capture and a
+        // short interference burst.
+        2 => vec![
+            Impairment::ClockDrift { ppm: 60.0 },
+            Impairment::AgcStep { at_s: 0.045, gain: 1.6 },
+            Impairment::ImpulseBurst { at_s: 0.03, duration_s: 0.01, amplitude: 1.0 },
+            Impairment::Clipping { level: 0.6 },
+        ],
+        // Heavy: add a USB-overrun gap and crush the dynamic range.
+        3 => vec![
+            Impairment::ClockDrift { ppm: 120.0 },
+            Impairment::AgcStep { at_s: 0.045, gain: 0.55 },
+            Impairment::DroppedSamples { at_s: 0.035, count: 2_000 },
+            Impairment::ImpulseBurst { at_s: 0.03, duration_s: 0.03, amplitude: 2.0 },
+            Impairment::Clipping { level: 0.45 },
+        ],
+        // Severe: everything at once, at magnitudes that defeat frame
+        // sync entirely. The 20 000-sample gap deletes ~30 bits of the
+        // standard transmission, positioned (0.037 s) to swallow the
+        // start marker and the first body bits — the frame envelope is
+        // still detectable but the rigid bit grid has nothing to
+        // anchor to, which is precisely the deletion failure mode E3
+        // diagnosed and E6 measures the fix for.
+        _ => vec![
+            Impairment::ClockDrift { ppm: 300.0 },
+            Impairment::AgcStep { at_s: 0.03, gain: 0.35 },
+            Impairment::DroppedSamples { at_s: 0.037, count: 20_000 },
+            Impairment::ImpulseBurst { at_s: 0.02, duration_s: 0.05, amplitude: 4.0 },
+            Impairment::Clipping { level: 0.25 },
+        ],
+    }
+}
+
+/// Human-readable description of [`severity_stack`]'s level.
+pub fn severity_label(severity: usize) -> &'static str {
+    match severity {
+        0 => "clean",
+        1 => "mild (drift, clip)",
+        2 => "moderate (+AGC step, burst)",
+        3 => "heavy (+dropped samples)",
+        _ => "severe (all, large)",
+    }
+}
+
 /// Converts a time offset into a clamped sample index (0 for NaN or
 /// negative times, `len` past the end).
 fn time_to_index(capture: &Capture, at_s: f64) -> usize {
@@ -173,6 +231,20 @@ mod tests {
             .map(|i| Complex::new((0.01 * i as f64).sin(), (0.013 * i as f64).cos()))
             .collect();
         Capture { samples, sample_rate: 1000.0, center_freq: 0.0 }
+    }
+
+    #[test]
+    fn severity_stacks_compose_monotonically() {
+        assert!(severity_stack(0).is_empty(), "severity 0 is the clean channel");
+        for s in 0..SEVERITY_LEVELS - 1 {
+            assert!(
+                severity_stack(s).len() <= severity_stack(s + 1).len(),
+                "severity {s} stack larger than severity {}",
+                s + 1
+            );
+        }
+        // Above the top level the stack saturates.
+        assert_eq!(severity_stack(99), severity_stack(SEVERITY_LEVELS - 1));
     }
 
     #[test]

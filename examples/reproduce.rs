@@ -7,7 +7,7 @@
 //!
 //! Artefact names: fig2, bios, fig4, fig5, fig6, fig7, fig8, table1,
 //! table2, background, fig9, table3, fig10, fig11, table4, extensions,
-//! impairments, streaming, service.
+//! impairments, streaming, service, robust.
 //!
 //! Independent artefacts fan out across the `emsc-runtime` worker
 //! pool (the big grids — Table II, Table III, the background stress —
@@ -21,6 +21,7 @@
 use emsc_core::experiments::covert_figs;
 use emsc_core::experiments::impairments::{impairment_sweep, render_impairment_rows};
 use emsc_core::experiments::keylog_table::{render_table4, table4, KeylogScale};
+use emsc_core::experiments::robust::{render_robust_rows, robust_sweep};
 use emsc_core::experiments::spectral::{fig11, fig2, fig2_bios, render_bios, Scale};
 use emsc_core::experiments::streaming::{render_streaming_rows, streaming_sessions};
 use emsc_core::experiments::tables::{
@@ -147,6 +148,12 @@ fn main() {
         artefacts.push((
             "streaming",
             Box::new(move || render_streaming_rows(&streaming_sessions(seed))),
+        ));
+    }
+    if want("robust") {
+        artefacts.push((
+            "robust",
+            Box::new(move || render_robust_rows(&robust_sweep(TableScale::paper(), seed))),
         ));
     }
     if want("service") {

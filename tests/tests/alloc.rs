@@ -146,4 +146,31 @@ fn steady_state_streaming_is_allocation_free() {
         fused_allocs, 0,
         "fused producer allocated {fused_allocs}x over {blocks} steady-state blocks"
     );
+
+    // 4. The Hamming(7,4) decoder proper: it returns its nibble in a
+    //    fixed array, so decoding any number of codewords in a hot
+    //    loop — the inner kernel of every deframe attempt the anchor
+    //    candidate chain makes — is strictly heap-free.
+    let codewords: Vec<[u8; 7]> = (0..1024u32)
+        .map(|i| {
+            let mut cw = emsc_covert::coding::hamming74_encode(&[
+                (i & 1) as u8,
+                ((i >> 1) & 1) as u8,
+                ((i >> 2) & 1) as u8,
+                ((i >> 3) & 1) as u8,
+            ]);
+            cw[(i % 7) as usize] ^= (i % 3 == 0) as u8; // sprinkle correctable errors
+            cw
+        })
+        .collect();
+    let before = allocations();
+    let mut corrected = 0usize;
+    for cw in &codewords {
+        let (nibble, fixed) = emsc_covert::coding::hamming74_decode(cw);
+        std::hint::black_box(nibble);
+        corrected += usize::from(fixed);
+    }
+    let decode_allocs = allocations() - before;
+    assert!(corrected > 0, "the error sprinkle above should exercise the corrector");
+    assert_eq!(decode_allocs, 0, "hamming74_decode allocated {decode_allocs}x over 1024 codewords");
 }

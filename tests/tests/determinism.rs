@@ -127,6 +127,52 @@ fn impairment_sweep_is_identical_across_thread_counts() {
 }
 
 #[test]
+fn robust_sweep_is_identical_across_thread_counts_and_meets_e6_acceptance() {
+    use emsc_core::experiments::robust::robust_sweep;
+    let scale = TableScale { payload_bytes: 16, runs: 1 };
+    let serial = with_threads(1, || robust_sweep(scale, 19));
+    let pooled = with_threads(3, || robust_sweep(scale, 19));
+    assert_eq!(serial.len(), pooled.len(), "row counts differ");
+    for (ra, rb) in serial.iter().zip(&pooled) {
+        let at = format!("severity {} mode {}", ra.severity, ra.mode);
+        assert_eq!(ra.severity, rb.severity);
+        assert_eq!(ra.label, rb.label, "label at {at}");
+        assert_eq!(ra.mode, rb.mode, "mode at {at}");
+        assert_eq!(ra.ber.to_bits(), rb.ber.to_bits(), "ber at {at}");
+        assert_eq!(ra.dp.to_bits(), rb.dp.to_bits(), "dp at {at}");
+        assert_eq!(ra.goodput_bps.to_bits(), rb.goodput_bps.to_bits(), "goodput at {at}");
+        assert_eq!(ra.recovery_rate.to_bits(), rb.recovery_rate.to_bits(), "recovery at {at}");
+        assert_eq!(ra.decode_failures, rb.decode_failures, "decode_failures at {at}");
+        assert_eq!(ra.resyncs, rb.resyncs, "resyncs at {at}");
+        assert_eq!(ra.markers_missed, rb.markers_missed, "markers_missed at {at}");
+        assert_eq!(ra.corrected, rb.corrected, "corrected at {at}");
+        assert_eq!(
+            ra.selected_rate_bps.to_bits(),
+            rb.selected_rate_bps.to_bits(),
+            "selected_rate at {at}"
+        );
+        assert_eq!(ra.probes, rb.probes, "probes at {at}");
+        assert_eq!(ra.retransmits, rb.retransmits, "retransmits at {at}");
+    }
+    // E6 acceptance on the same rows: at the severe stack the rigid
+    // mode delivers nothing while marker and adaptive still deliver,
+    // and the controller settles strictly below its clean-channel rate.
+    let row = |sev: usize, mode: &str| {
+        serial
+            .iter()
+            .find(|r| r.severity == sev && r.mode == mode)
+            .unwrap_or_else(|| panic!("missing row: severity {sev} mode {mode}"))
+    };
+    assert_eq!(row(4, "rigid").goodput_bps, 0.0, "severity 4 must silence the rigid mode");
+    assert!(row(4, "marker").goodput_bps > 0.0, "marker mode must deliver at severity 4");
+    assert!(row(4, "adaptive").goodput_bps > 0.0, "adaptive mode must deliver at severity 4");
+    assert!(
+        row(4, "adaptive").selected_rate_bps < row(0, "adaptive").selected_rate_bps,
+        "the controller must settle strictly below its clean-channel rate at severity 4"
+    );
+}
+
+#[test]
 fn streaming_sessions_are_identical_across_thread_counts() {
     use emsc_core::experiments::streaming::streaming_sessions;
     let serial = with_threads(1, || streaming_sessions(2020));

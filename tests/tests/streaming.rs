@@ -171,6 +171,67 @@ fn fused_tx_chain_is_bit_identical_to_staged_at_any_block_size_and_thread_count(
 }
 
 #[test]
+fn marker_deframer_is_chunk_oblivious_on_an_impaired_capture() {
+    // End-to-end marker-coding mirror of the bit-identity contract: a
+    // marker-coded frame is sent over the real chain, the capture is
+    // corrupted with the severity-3 impairment stack (clock drift,
+    // AGC step, dropped samples, burst, clipping), and then BOTH
+    // streaming layers must be chunk-oblivious — the sample-level
+    // receiver must reproduce the batch demodulated bits, and the
+    // bit-level deframer fed those bits must reproduce the batch
+    // anchor-chain decode.
+    use emsc_core::covert_run::CovertScenario;
+    use emsc_covert::frame::try_deframe;
+    use emsc_covert::marker::MarkerConfig;
+    use emsc_covert::stream::{Deframer, FrameEvent};
+    use emsc_sdr::impair::severity_stack;
+
+    let laptop = Laptop::dell_inspiron();
+    let chain = Chain::new(&laptop, Setup::NearField);
+    let mut scenario = CovertScenario::for_laptop(&laptop, chain);
+    scenario.tx.frame.marker = Some(MarkerConfig::standard());
+    let payload = b"sync-robust marker coding";
+    let outcome = scenario.run_impaired(payload, 23, &severity_stack(3), 7);
+    let cap = &outcome.chain_run.capture;
+
+    // Sample level: the streaming receiver on the impaired capture.
+    for chunk in CHUNKINGS {
+        let streamed =
+            StreamingReceiver::new(scenario.rx.clone(), cap.sample_rate, cap.center_freq)
+                .and_then(|mut rx| {
+                    for c in cap.samples.chunks(chunk.max(1).min(cap.samples.len())) {
+                        rx.push(c);
+                    }
+                    rx.finish()
+                })
+                .expect("impaired capture still demodulates");
+        assert_eq!(streamed, outcome.report, "receiver diverged at chunk size {chunk}");
+    }
+
+    // Bit level: the streaming deframer against the batch anchor scan.
+    let batch = try_deframe(&outcome.report.bits, scenario.tx.frame, 1)
+        .expect("severity 3 is within the marker code's budget");
+    assert_eq!(&batch.payload, payload, "batch decode must survive severity 3");
+    for chunk in [1usize, 7, 64, usize::MAX] {
+        let mut d = Deframer::new(scenario.tx.frame, 1);
+        let mut events = Vec::new();
+        for c in outcome.report.bits.chunks(chunk.min(outcome.report.bits.len())) {
+            events.extend(d.push(c));
+        }
+        events.extend(d.finish());
+        let frames: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e {
+                FrameEvent::Frame(f) => Some(f),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(frames.len(), 1, "bit chunk {chunk}: {events:?}");
+        assert_eq!(*frames[0], batch, "deframer diverged at bit chunk size {chunk}");
+    }
+}
+
+#[test]
 fn empty_pushes_are_no_ops() {
     let (label, cap) = corpus().into_iter().find(|(l, _)| *l == "truncated-mid-frame").unwrap();
     let batch = Receiver::new(rx_config()).receive(&cap);
